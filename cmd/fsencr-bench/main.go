@@ -1,0 +1,142 @@
+// Command fsencr-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	fsencr-bench                # every figure, full scale
+//	fsencr-bench -fig 3         # just Figure 3
+//	fsencr-bench -fig 8 -ops 500   # reduced scale
+//
+// Figures: 3 (software encryption), 8-10 (PMEMKV), 11 (Whisper),
+// 12-14 (synthetic microbenchmarks), 15 (metadata-cache sensitivity).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsencr/internal/core"
+	"fsencr/internal/report"
+	"fsencr/internal/stats"
+	"fsencr/internal/workloads"
+)
+
+// chart renders a normalized-ratio bar chart with a 1.0x baseline mark.
+func chart(title string, labels []string, ratios []float64) string {
+	c := report.NewBarChart(title, "x")
+	c.Baseline = 1
+	for i, l := range labels {
+		if i < len(ratios) {
+			c.Add(l, ratios[i])
+		}
+	}
+	return c.String()
+}
+
+func benchOps(name string, override int) int {
+	if override > 0 {
+		return override
+	}
+	w, err := workloads.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return w.BenchOps
+}
+
+func main() {
+	var (
+		fig = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+		ops = flag.Int("ops", 0, "override per-thread op count (0 = full scale)")
+	)
+	flag.Parse()
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fsencr-bench:", err)
+		os.Exit(1)
+	}
+
+	if want(3) {
+		tb, ratios, err := core.Fig3(benchOps("ycsb", *ops))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(tb)
+		fmt.Println(chart("slowdown vs ext4-dax", core.WhisperWorkloads, ratios))
+		fmt.Printf("paper: ~2.7x average, ~5x YCSB; measured: %.2fx average, %.2fx YCSB\n\n",
+			stats.Mean(ratios), ratios[0])
+	}
+
+	if want(8) || want(9) || want(10) {
+		prs := make(core.PairResults)
+		for _, name := range core.PMEMKVWorkloads {
+			b, t, err := core.RunPair(name, core.SchemeBaseline, core.SchemeFsEncr, benchOps(name, *ops), nil)
+			if err != nil {
+				fail(err)
+			}
+			prs[name] = [2]core.Result{b, t}
+		}
+		if want(8) {
+			tb, ratios := core.Fig8(prs)
+			fmt.Println(tb)
+			fmt.Println(chart("slowdown vs baseline", core.PMEMKVWorkloads, ratios))
+			fmt.Printf("measured average slowdown: %.2f%%\n\n", (stats.Mean(ratios)-1)*100)
+		}
+		if want(9) {
+			tb, _ := core.Fig9(prs)
+			fmt.Println(tb)
+		}
+		if want(10) {
+			tb, _ := core.Fig10(prs)
+			fmt.Println(tb)
+		}
+	}
+
+	if want(11) {
+		res, err := core.Fig11(benchOps("ycsb", *ops))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Slowdown)
+		fmt.Println(chart("slowdown vs baseline", core.WhisperWorkloads, res.Ratios))
+		fmt.Println(res.Writes)
+		fmt.Println(res.Reads)
+		fmt.Printf("paper: ~3.8%% average slowdown, 98.33%% reduction vs software encryption\n")
+		fmt.Printf("measured: %.2f%% average slowdown, %.2f%% reduction\n\n",
+			(stats.Mean(res.Ratios)-1)*100, res.Reduction*100)
+	}
+
+	if want(12) || want(13) || want(14) {
+		prs := make(core.PairResults)
+		for _, name := range core.SyntheticWorkloads {
+			b, t, err := core.RunPair(name, core.SchemeBaseline, core.SchemeFsEncr, benchOps(name, *ops), nil)
+			if err != nil {
+				fail(err)
+			}
+			prs[name] = [2]core.Result{b, t}
+		}
+		if want(12) {
+			tb, ratios := core.Fig12(prs)
+			fmt.Println(tb)
+			fmt.Println(chart("slowdown vs baseline", core.SyntheticWorkloads, ratios))
+			fmt.Printf("paper: ~20.03%% average; measured: %.2f%%\n\n", (stats.Mean(ratios)-1)*100)
+		}
+		if want(13) {
+			tb, _ := core.Fig13(prs)
+			fmt.Println(tb)
+		}
+		if want(14) {
+			tb, _ := core.Fig14(prs)
+			fmt.Println(tb)
+		}
+	}
+
+	if want(15) {
+		tb, _, err := core.Fig15(*ops)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(tb)
+	}
+}

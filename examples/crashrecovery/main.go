@@ -1,0 +1,93 @@
+// Crashrecovery: Osiris-style crash consistency for the security metadata
+// (§II-D, §III-H). The example writes a persistent hashmap under FsEncr,
+// power-fails the machine at an arbitrary point — losing the metadata cache
+// and any unpersisted counter updates — and then recovers: counters are
+// reconstructed line by line from the ECC check tags within the stop-loss
+// window, the Merkle tree is regenerated and verified against the
+// processor-resident root, and every persisted record decrypts intact.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"fsencr/internal/config"
+	"fsencr/internal/core"
+	"fsencr/internal/kernel"
+	"fsencr/internal/pmem"
+	"fsencr/internal/sim"
+	"fsencr/internal/whisper"
+)
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	sys := kernel.Boot(config.Default(), core.SchemeFsEncr.MCMode(), kernel.ModeDAX)
+	proc := sys.NewProcess(1000, 100)
+
+	file, err := sys.CreateFile(proc, "store.pool", 0600, 16<<20, true, "pw")
+	must(err)
+	pool, err := pmem.Create(proc, file, 16<<20)
+	must(err)
+	h, err := whisper.CreateHashmap(pool, 0, 512, 64)
+	must(err)
+
+	// Phase 1: populate.
+	rng := sim.NewRNG(7)
+	val := make([]byte, 64)
+	values := make(map[uint64][]byte)
+	const N = 300
+	for k := uint64(0); k < N; k++ {
+		rng.Bytes(val)
+		values[k] = append([]byte(nil), val...)
+		must(h.Put(k, val))
+	}
+	fmt.Printf("stored %d records under FsEncr\n", N)
+
+	// Phase 2: power loss. Everything volatile dies: CPU caches, the
+	// metadata cache, counter updates not yet persisted under the
+	// stop-loss discipline, and (modelling residual-energy flush) the OTT
+	// spills its entries into the sealed region.
+	fmt.Println("\n*** POWER FAILURE ***")
+	sys.M.Crash(true)
+
+	// Phase 3: recovery.
+	if err := sys.M.Recover(); err != nil {
+		panic(fmt.Sprintf("recovery failed: %v", err))
+	}
+	recovered := sys.M.Stats().Get("mc.recovered_lines")
+	fmt.Printf("Osiris recovered counters for %d lines; Merkle root verified\n", recovered)
+
+	// Phase 4: verify every record.
+	buf := make([]byte, 64)
+	for k := uint64(0); k < N; k++ {
+		n, err := h.Get(k, buf)
+		must(err)
+		if !bytes.Equal(buf[:n], values[k]) {
+			panic(fmt.Sprintf("record %d corrupted after crash", k))
+		}
+	}
+	fmt.Printf("all %d records intact after recovery\n", N)
+
+	// Phase 5: keep working — write after recovery, crash again, recover
+	// again. Counter state must remain consistent across repeated crashes.
+	for k := uint64(N); k < N+50; k++ {
+		rng.Bytes(val)
+		values[k] = append([]byte(nil), val...)
+		must(h.Put(k, val))
+	}
+	sys.M.Crash(true)
+	must(sys.M.Recover())
+	for k := uint64(0); k < N+50; k++ {
+		n, err := h.Get(k, buf)
+		must(err)
+		if !bytes.Equal(buf[:n], values[k]) {
+			panic(fmt.Sprintf("record %d corrupted after second crash", k))
+		}
+	}
+	fmt.Println("second crash/recovery cycle: still intact")
+}

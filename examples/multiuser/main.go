@@ -1,0 +1,98 @@
+// Multiuser: per-file keys protecting users from each other (the System C
+// guarantees of Table I), including the §VI scenarios: a shared group file,
+// an accidental chmod 777, an adversarial admin-less insider, and secure
+// deletion.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"fsencr/internal/config"
+	"fsencr/internal/core"
+	"fsencr/internal/fs"
+	"fsencr/internal/kernel"
+)
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	sys := kernel.Boot(config.Default(), core.SchemeFsEncr.MCMode(), kernel.ModeDAX)
+
+	alice := sys.NewProcess(1000, 100) // group 100: research
+	bob := sys.NewProcess(1001, 100)   // same group as alice
+	carol := sys.NewProcess(1002, 200) // different group
+
+	// Alice creates a private encrypted file and a group-shared one.
+	private, err := sys.CreateFile(alice, "alice-private.db", 0600, 16<<10, true, "alice-pass")
+	must(err)
+	shared, err := sys.CreateFile(alice, "research-shared.db", 0660, 16<<10, true, "research-group-pass")
+	must(err)
+
+	va, err := alice.Mmap(private, 16<<10)
+	must(err)
+	secret := []byte("alice's unpublished results......")
+	must(alice.Write(va, secret))
+	must(alice.Persist(va, uint64(len(secret))))
+
+	sva, err := alice.Mmap(shared, 16<<10)
+	must(err)
+	must(alice.Write(sva, []byte("group dataset v1")))
+	must(alice.Persist(sva, 16))
+
+	fmt.Println("== permission matrix ==")
+	check := func(who string, p *kernel.Process, name, pass string) {
+		_, err := sys.OpenFile(p, name, fs.ReadAccess, pass)
+		status := "granted"
+		if err != nil {
+			status = fmt.Sprintf("denied (%v)", err)
+		}
+		fmt.Printf("  %-6s opens %-20s -> %s\n", who, name, status)
+	}
+	check("alice", alice, "alice-private.db", "alice-pass")
+	check("bob", bob, "alice-private.db", "alice-pass") // mode 0600: denied by permissions
+	check("bob", bob, "research-shared.db", "research-group-pass")
+	check("carol", carol, "research-shared.db", "research-group-pass") // other: denied
+
+	// Bob, in the same group, reads the shared file through DAX.
+	bva, err := bob.Mmap(shared, 16<<10)
+	must(err)
+	got := make([]byte, 16)
+	must(bob.Read(bva, got))
+	fmt.Printf("\nbob reads shared file directly: %q\n", got)
+
+	// The §VI accident: a buggy Makefile runs chmod 777 on Alice's
+	// private file. Permission bits no longer protect it — the per-file
+	// key still does.
+	fmt.Println("\n== chmod 777 accident ==")
+	must(sys.FS.Chmod(private, 1000, 0777))
+	if _, err := sys.OpenFile(carol, "alice-private.db", fs.ReadAccess, "carols-guess"); err != nil {
+		fmt.Printf("  carol (wrong passphrase): denied (%v)\n", err)
+	} else {
+		panic("carol got in!")
+	}
+
+	// An insider scans physical memory for Alice's data: the file OTP
+	// keeps it unintelligible even with the memory-encryption key.
+	fmt.Println("\n== insider memory scan ==")
+	sys.M.WritebackAll()
+	pa, _ := private.PagePA(0)
+	dump := sys.M.MC.DecryptWithMemoryKeyOnly(pa.WithDF())
+	if bytes.Contains(dump[:], secret[:16]) {
+		panic("insider read alice's data")
+	}
+	fmt.Println("  memory-key-only dump of alice's file: ciphertext (protected)")
+
+	// Secure deletion: alice removes the file; its counters are shredded.
+	fmt.Println("\n== secure deletion ==")
+	must(sys.Unlink(alice, "alice-private.db"))
+	line, _ := sys.M.MC.ReadLine(0, pa.WithDF())
+	if bytes.Contains(line[:], secret[:16]) {
+		panic("deleted data recoverable")
+	}
+	fmt.Println("  unlinked file's pages: unintelligible even with the old key")
+}

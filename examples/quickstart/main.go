@@ -1,0 +1,85 @@
+// Quickstart: boot a simulated FsEncr system, create an encrypted file on
+// the DAX-mounted persistent region, map it directly into a process, write
+// and read through ordinary loads/stores, and show that the bytes at rest
+// in the NVM are ciphertext while access latency stays near the
+// unencrypted baseline.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"fsencr/internal/config"
+	"fsencr/internal/core"
+	"fsencr/internal/kernel"
+)
+
+func main() {
+	// Boot a machine with memory encryption + FsEncr file encryption, the
+	// persistent region mounted as DAX ext4 (the paper's setup).
+	sys := kernel.Boot(config.Default(), core.SchemeFsEncr.MCMode(), kernel.ModeDAX)
+	proc := sys.NewProcess(1000, 100)
+
+	// Create an encrypted file; the kernel derives the file key from the
+	// owner's passphrase and installs it in the controller's Open Tunnel
+	// Table over MMIO.
+	file, err := sys.CreateFile(proc, "notes.db", 0600, 64<<10, true, "my passphrase")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("created %q: inode %d, group %d, encrypted=%v\n",
+		file.Name, file.Ino, file.GroupID, file.Encrypted)
+
+	// Map it DAX-style: loads/stores hit NVM directly, no page cache.
+	va, err := proc.Mmap(file, 64<<10)
+	if err != nil {
+		panic(err)
+	}
+
+	msg := []byte("direct-access AND encrypted: let's have both!")
+	start := proc.Now()
+	if err := proc.Write(va, msg); err != nil {
+		panic(err)
+	}
+	if err := proc.Persist(va, uint64(len(msg))); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote and persisted %d bytes in %d simulated cycles\n",
+		len(msg), proc.Now()-start)
+
+	got := make([]byte, len(msg))
+	start = proc.Now()
+	if err := proc.Read(va, got); err != nil {
+		panic(err)
+	}
+	fmt.Printf("read them back in %d cycles: %q\n", proc.Now()-start, got)
+
+	// Peek at the physical NVM, as an attacker with the DIMM would.
+	sys.M.WritebackAll()
+	pa, _ := file.PagePA(0)
+	raw := sys.M.MC.RawLine(pa.WithDF())
+	fmt.Printf("bytes at rest in NVM: %x...\n", raw[:24])
+	if bytes.Contains(raw[:], msg[:16]) {
+		panic("plaintext leaked to NVM!")
+	}
+	fmt.Println("at-rest bytes are ciphertext: OK")
+
+	// The same data is unreadable without the file key even if the memory
+	// encryption key is compromised.
+	half := sys.M.MC.DecryptWithMemoryKeyOnly(pa.WithDF())
+	if bytes.Contains(half[:], msg[:16]) {
+		panic("memory key alone decrypted file data!")
+	}
+	fmt.Println("memory key alone cannot decrypt it: OK (defense in depth)")
+
+	// Compare the cost against the same access pattern on the three other
+	// schemes.
+	fmt.Println("\nper-op cost of a small persistent workload under each scheme:")
+	for _, sc := range []core.Scheme{core.SchemePlain, core.SchemeBaseline, core.SchemeFsEncr, core.SchemeSWEncr} {
+		r, err := core.Run(core.Request{Workload: "hashmap", Scheme: sc, Ops: 400})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-9s %8.1f cycles/op\n", sc, r.CyclesPerOp())
+	}
+}

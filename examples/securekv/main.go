@@ -1,0 +1,101 @@
+// Securekv: a persistent key-value store (the PMEMKV-style B+Tree engine)
+// running over an FsEncr-encrypted, DAX-mapped file — the paper's primary
+// use case. Two worker threads share the store; every byte is encrypted
+// with both the memory key and the file key, yet the engine is written as
+// ordinary load/store code against a PMDK-like API.
+package main
+
+import (
+	"fmt"
+
+	"fsencr/internal/config"
+	"fsencr/internal/core"
+	"fsencr/internal/kernel"
+	"fsencr/internal/kvstore"
+	"fsencr/internal/pmem"
+	"fsencr/internal/sim"
+)
+
+func main() {
+	sys := kernel.Boot(config.Default(), core.SchemeFsEncr.MCMode(), kernel.ModeDAX)
+
+	// Two worker threads (processes sharing the file), as in Table II.
+	w0 := sys.NewProcess(1000, 100)
+	w1 := sys.NewProcess(1000, 100)
+
+	file, err := sys.CreateFile(w0, "kv.pool", 0600, 32<<20, true, "kv-passphrase")
+	if err != nil {
+		panic(err)
+	}
+	pool0, err := pmem.Create(w0, file, 32<<20)
+	if err != nil {
+		panic(err)
+	}
+	pool1, err := pmem.Open(w1, file, 32<<20)
+	if err != nil {
+		panic(err)
+	}
+
+	tree0, err := kvstore.Create(pool0, 0)
+	if err != nil {
+		panic(err)
+	}
+	tree1 := tree0.View(pool1)
+
+	// Interleave inserts from both workers.
+	rng := sim.NewRNG(2026)
+	val := make([]byte, 64)
+	const N = 400
+	for i := 0; i < N; i++ {
+		rng.Bytes(val)
+		t := tree0
+		if i%2 == 1 {
+			t = tree1
+		}
+		if err := t.Put(uint64(i), val); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("inserted %d records from 2 workers (%d / %d cycles)\n",
+		N, w0.Now(), w1.Now())
+
+	// Worker 1 reads what worker 0 wrote and vice versa.
+	buf := make([]byte, 64)
+	for i := 0; i < N; i++ {
+		t := tree1
+		if i%2 == 1 {
+			t = tree0
+		}
+		if _, err := t.Get(uint64(i), buf); err != nil {
+			panic(fmt.Sprintf("get %d: %v", i, err))
+		}
+	}
+	fmt.Println("cross-worker reads: all", N, "records visible")
+
+	// Range scan in key order.
+	count := 0
+	if err := tree0.Scan(100, buf, func(k uint64, v []byte) bool {
+		count++
+		return k < 120
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Printf("ordered scan from key 100 visited %d records\n", count)
+
+	// Power-fail the machine mid-life and recover: Osiris reconstructs the
+	// encryption counters, the Merkle root checks out, and every record is
+	// still there.
+	sys.M.Crash(true)
+	if err := sys.M.Recover(); err != nil {
+		panic(err)
+	}
+	for i := 0; i < N; i++ {
+		if _, err := tree0.Get(uint64(i), buf); err != nil {
+			panic(fmt.Sprintf("post-crash get %d: %v", i, err))
+		}
+	}
+	fmt.Println("crash + Osiris recovery: all records intact")
+
+	fmt.Printf("\nNVM traffic: %d line reads, %d line writes (incl. security metadata)\n",
+		sys.M.MC.PCM.Reads(), sys.M.MC.PCM.Writes())
+}

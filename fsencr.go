@@ -1,0 +1,58 @@
+// Package fsencr is a library-level reproduction of "Filesystem Encryption
+// or Direct-Access for NVM Filesystems? Let's Have Both!" (HPCA 2022): a
+// hardware/software co-design that layers transparent, per-file,
+// hardware-assisted encryption (FsEncr) on top of counter-mode memory
+// encryption for NVM-hosted, DAX-mapped files.
+//
+// The repository contains a full simulated system — PCM device, cache
+// hierarchy, secure memory controller with MECB/FECB split counters, Open
+// Tunnel Table, Bonsai Merkle tree, Osiris crash consistency, a DAX
+// filesystem and kernel model, a PMDK-like persistence library, and the
+// paper's complete benchmark suite (PMEMKV BTree, Whisper, synthetic DAX
+// microbenchmarks).
+//
+// This package is the stable entry point: it re-exports the experiment
+// harness so downstream code can run simulations without reaching into
+// internal packages.
+//
+//	res, err := fsencr.Run(fsencr.Request{
+//	    Workload: "ycsb",
+//	    Scheme:   fsencr.SchemeFsEncr,
+//	    Ops:      2500,
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results of every table and figure.
+package fsencr
+
+import (
+	"fsencr/internal/core"
+	"fsencr/internal/workloads"
+)
+
+// Scheme selects the protection configuration under test.
+type Scheme = core.Scheme
+
+// The four schemes of the paper's evaluation.
+const (
+	// SchemePlain is ext4-dax with no encryption (Figure 3 baseline).
+	SchemePlain = core.SchemePlain
+	// SchemeBaseline is ext4-dax + counter-mode memory encryption + BMT.
+	SchemeBaseline = core.SchemeBaseline
+	// SchemeFsEncr is the paper's hardware-assisted filesystem encryption.
+	SchemeFsEncr = core.SchemeFsEncr
+	// SchemeSWEncr is eCryptfs-style software filesystem encryption.
+	SchemeSWEncr = core.SchemeSWEncr
+)
+
+// Request describes one simulation run.
+type Request = core.Request
+
+// Result carries the measured statistics of one run.
+type Result = core.Result
+
+// Run executes one workload under one scheme and returns its measurements.
+func Run(req Request) (Result, error) { return core.Run(req) }
+
+// Workloads returns the names of every Table II benchmark.
+func Workloads() []string { return workloads.Names() }

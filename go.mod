@@ -1,0 +1,3 @@
+module fsencr
+
+go 1.22

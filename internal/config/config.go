@@ -1,0 +1,195 @@
+// Package config holds the simulated-machine parameters from Table III of
+// the FsEncr paper (HPCA 2022). All latencies are expressed in core cycles;
+// the simulated core runs at 1 GHz, so one cycle is one nanosecond and the
+// paper's nanosecond figures map 1:1 onto cycle counts.
+package config
+
+// Cycle is a point in (or duration of) simulated time, measured in core
+// cycles of the 1 GHz simulated processor (1 cycle == 1 ns).
+type Cycle = uint64
+
+// Fixed architectural constants. These are structural (they change data
+// layouts), unlike the tunable latencies in Config.
+const (
+	// LineSize is the cache-line size in bytes everywhere in the machine.
+	LineSize = 64
+	// PageSize is the virtual-memory and counter-block coverage granule.
+	PageSize = 4096
+	// LinesPerPage is the number of cache lines covered by one counter block.
+	LinesPerPage = PageSize / LineSize // 64
+	// PhysAddrBits is the physical address width (Intel IA-32e maximum).
+	PhysAddrBits = 52
+	// DFBitPos is the position of the DAX-File bit within the physical
+	// address: the most significant implemented physical address bit.
+	DFBitPos = PhysAddrBits - 1 // bit 51
+	// MinorCounterBits is the width of a per-line minor counter.
+	MinorCounterBits = 7
+	// MinorCounterMax is the largest value a 7-bit minor counter can hold.
+	MinorCounterMax = 1<<MinorCounterBits - 1 // 127
+	// KeySize is the size of all encryption keys in bytes (AES-128).
+	KeySize = 16
+)
+
+// Processor describes the core and cache hierarchy (Table III).
+type Processor struct {
+	Cores int
+	// Cache hit latencies, in cycles.
+	L1Latency Cycle
+	L2Latency Cycle
+	L3Latency Cycle
+	// Cache geometries.
+	L1Size int // bytes, per core
+	L1Ways int
+	L2Size int // bytes, per core
+	L2Ways int
+	L3Size int // bytes, shared
+	L3Ways int
+}
+
+// PCM describes the DDR-based PCM main memory (Table III).
+type PCM struct {
+	CapacityBytes  uint64
+	ReadLatency    Cycle // array read, 60 ns
+	WriteLatency   Cycle // array write, 150 ns
+	Channels       int
+	RanksPerChan   int
+	BanksPerRank   int
+	RowBufferBytes int
+	TRCD           Cycle // row to column delay, 55 ns
+	TCL            Cycle // CAS latency, 12.5 ns (rounded to 13)
+	TBURST         Cycle // burst transfer, 5 ns
+	TWR            Cycle // write recovery, 150 ns
+	// RowBufferHitLatency is the column access time for an open row.
+	RowBufferHitLatency Cycle
+}
+
+// Security describes the encryption-engine parameters (Table III).
+type Security struct {
+	AESLatency        Cycle // hardware AES engine, 40 ns
+	XORLatency        Cycle // final OTP XOR, 1 cycle
+	MetadataCacheSize int   // bytes
+	MetadataCacheWays int
+	// MetadataCacheLatency is the hit latency of the metadata cache; it is
+	// a small dedicated structure next to the memory controller.
+	MetadataCacheLatency Cycle
+	// MACLatency is the cost of one Merkle-tree MAC computation/check.
+	MACLatency Cycle
+	// PartitionMetadataCache splits the metadata cache into dedicated
+	// MECB / FECB / Merkle-node partitions instead of one shared cache
+	// (§III-D: "it is possible to partition the metadata cache for each
+	// metadata ... to equitably distribute the cache capacity").
+	PartitionMetadataCache bool
+	MerkleArity            int
+	MerkleLevels           int
+	// OTT geometry: OTTBanks fully associative banks of OTTEntriesPerBank
+	// entries each, searched in parallel.
+	OTTBanks          int
+	OTTEntriesPerBank int
+	OTTLookupLatency  Cycle // 20 cycles, deliberately slower than a TLB
+	// OTTRegionLatencyExtra is the added cost of a hashed lookup in the
+	// encrypted OTT region (on top of the memory accesses themselves).
+	OTTRegionLatencyExtra Cycle
+	// StopLoss is the Osiris stop-loss bound: the maximum number of counter
+	// increments allowed between persists of a cached counter block.
+	StopLoss int
+}
+
+// Kernel describes the modelled OS costs.
+type Kernel struct {
+	// PageFaultLatency is the cost of a minor DAX page fault (fault entry,
+	// dax_insert_mapping, PTE update), excluding MMIO communication.
+	PageFaultLatency Cycle
+	// MMIOWriteLatency is the cost of one uncached MMIO register write used
+	// by the kernel to talk to the memory controller.
+	MMIOWriteLatency Cycle
+	// SyscallLatency is the cost of entering/leaving the kernel for a
+	// conventional (non-DAX) file operation.
+	SyscallLatency Cycle
+	// MsyncLatency is the cost of one msync syscall (lighter than a full
+	// file operation).
+	MsyncLatency Cycle
+	// PageCachePages is the capacity of the software page cache, in pages,
+	// used by the conventional (non-DAX) path and eCryptfs model.
+	PageCachePages int
+	// SWCryptoPer16B is the software AES cost per 16-byte block, used by the
+	// eCryptfs-style stacked encryption model. Software AES without
+	// dedicated scheduling achieves roughly 1 cycle/byte on the modelled
+	// core.
+	SWCryptoPer16B Cycle
+	// CopyPer64B is the cost of copying one cache line between the device
+	// and the page cache.
+	CopyPer64B Cycle
+	// VFSStackLatency is the per-page-fault overhead of the stacked
+	// filesystem layers (eCryptfs -> ext4 -> driver).
+	VFSStackLatency Cycle
+	// SWWritebackEvery throttles the flusher on the page-cache path: a
+	// dirty page is written back (re-encrypted under eCryptfs) after this
+	// many msyncs touch it, or at eviction/sync.
+	SWWritebackEvery int
+}
+
+// Config aggregates every tunable parameter of the simulated system.
+type Config struct {
+	Processor Processor
+	PCM       PCM
+	Security  Security
+	Kernel    Kernel
+}
+
+// Default returns the paper's Table III configuration.
+func Default() Config {
+	return Config{
+		Processor: Processor{
+			Cores:     8,
+			L1Latency: 2,
+			L2Latency: 20,
+			L3Latency: 32,
+			L1Size:    32 << 10,
+			L1Ways:    8,
+			L2Size:    512 << 10,
+			L2Ways:    8,
+			L3Size:    4 << 20,
+			L3Ways:    64,
+		},
+		PCM: PCM{
+			CapacityBytes:       16 << 30,
+			ReadLatency:         60,
+			WriteLatency:        150,
+			Channels:            2,
+			RanksPerChan:        2,
+			BanksPerRank:        8,
+			RowBufferBytes:      1 << 10,
+			TRCD:                55,
+			TCL:                 13,
+			TBURST:              5,
+			TWR:                 150,
+			RowBufferHitLatency: 13 + 5, // tCL + tBURST
+		},
+		Security: Security{
+			AESLatency:            40,
+			XORLatency:            1,
+			MetadataCacheSize:     512 << 10,
+			MetadataCacheWays:     8,
+			MetadataCacheLatency:  3,
+			MACLatency:            20,
+			MerkleArity:           8,
+			MerkleLevels:          9,
+			OTTBanks:              8,
+			OTTEntriesPerBank:     128,
+			OTTLookupLatency:      20,
+			OTTRegionLatencyExtra: 10,
+			StopLoss:              4,
+		},
+		Kernel: Kernel{
+			PageFaultLatency: 2000,
+			MMIOWriteLatency: 150,
+			SyscallLatency:   700,
+			MsyncLatency:     300,
+			PageCachePages:   1024,
+			SWCryptoPer16B:   12,
+			CopyPer64B:       4,
+			VFSStackLatency:  1200,
+			SWWritebackEvery: 16,
+		},
+	}
+}

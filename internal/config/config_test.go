@@ -1,0 +1,73 @@
+package config
+
+import "testing"
+
+// TestTableIII pins the default configuration to the paper's Table III so
+// accidental drift is caught.
+func TestTableIII(t *testing.T) {
+	c := Default()
+	if c.Processor.Cores != 8 {
+		t.Fatal("8-core CPU expected")
+	}
+	if c.Processor.L1Latency != 2 || c.Processor.L2Latency != 20 || c.Processor.L3Latency != 32 {
+		t.Fatal("cache latencies drifted from Table III")
+	}
+	if c.Processor.L1Size != 32<<10 || c.Processor.L1Ways != 8 {
+		t.Fatal("L1 geometry drifted")
+	}
+	if c.Processor.L2Size != 512<<10 || c.Processor.L2Ways != 8 {
+		t.Fatal("L2 geometry drifted")
+	}
+	if c.Processor.L3Size != 4<<20 || c.Processor.L3Ways != 64 {
+		t.Fatal("L3 geometry drifted")
+	}
+	if c.PCM.CapacityBytes != 16<<30 {
+		t.Fatal("16GB PCM expected")
+	}
+	if c.PCM.ReadLatency != 60 || c.PCM.WriteLatency != 150 {
+		t.Fatal("PCM latencies drifted (60ns read / 150ns write)")
+	}
+	if c.PCM.Channels != 2 || c.PCM.RanksPerChan != 2 || c.PCM.BanksPerRank != 8 {
+		t.Fatal("PCM organization drifted (2 ranks/channel, 8 banks/rank)")
+	}
+	if c.PCM.RowBufferBytes != 1<<10 {
+		t.Fatal("1KB row buffer expected")
+	}
+	if c.PCM.TRCD != 55 || c.PCM.TBURST != 5 || c.PCM.TWR != 150 {
+		t.Fatal("DDR timing drifted")
+	}
+	if c.Security.AESLatency != 40 {
+		t.Fatal("AES latency 40ns expected")
+	}
+	if c.Security.MetadataCacheSize != 512<<10 || c.Security.MetadataCacheWays != 8 {
+		t.Fatal("metadata cache drifted (512KB, 8-way)")
+	}
+	if c.Security.MerkleArity != 8 || c.Security.MerkleLevels != 9 {
+		t.Fatal("Merkle tree drifted (9 levels, 8-ary)")
+	}
+	if c.Security.OTTBanks != 8 || c.Security.OTTEntriesPerBank != 128 {
+		t.Fatal("OTT geometry drifted (8 x 128 fully associative)")
+	}
+	if c.Security.OTTLookupLatency != 20 {
+		t.Fatal("OTT lookup must take 20 cycles (power-conscious, slower than TLB)")
+	}
+}
+
+func TestStructuralConstants(t *testing.T) {
+	if LineSize != 64 || PageSize != 4096 || LinesPerPage != 64 {
+		t.Fatal("line/page geometry drifted")
+	}
+	if PhysAddrBits != 52 || DFBitPos != 51 {
+		t.Fatal("DF-bit must be bit 51 of a 52-bit physical address")
+	}
+	if MinorCounterBits != 7 || MinorCounterMax != 127 {
+		t.Fatal("7-bit minor counters expected")
+	}
+	// The OTT of Table III is 2KB of key state per the paper's §III-H
+	// (8 banks x 128 entries; each key is 16 bytes -> 16KB with tags in
+	// this implementation; the paper's 2KB counts keys only for the
+	// backup-power argument). Sanity-check the entry count instead.
+	if Default().Security.OTTBanks*Default().Security.OTTEntriesPerBank != 1024 {
+		t.Fatal("1024 OTT entries expected")
+	}
+}

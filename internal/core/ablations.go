@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/sim"
+	"fsencr/internal/stats"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. These go
+// beyond the paper's figures: they quantify the sensitivity of FsEncr to
+// the Osiris stop-loss bound, the Merkle-tree arity, and the OTT geometry.
+
+// AblationStopLoss sweeps the Osiris stop-loss bound on a write-heavy
+// workload: smaller bounds persist counters more eagerly (more NVM writes,
+// smaller recovery window), larger bounds batch more.
+func AblationStopLoss(workload string, ops int, bounds []int) (*stats.Table, error) {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: Osiris stop-loss bound (%s, %d ops)", workload, ops),
+		"stop-loss", "cycles", "nvm writes", "stoploss persists")
+	for _, n := range bounds {
+		cfg := config.Default()
+		cfg.Security.StopLoss = n
+		r, err := Run(Request{Workload: workload, Scheme: SchemeFsEncr, Ops: ops, Cfg: &cfg})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(n, r.Cycles, r.NVMWrites, "")
+	}
+	return tb, nil
+}
+
+// AblationMerkleArity sweeps the integrity-tree fan-out: higher arity means
+// shorter verification walks but larger per-node MAC scope. Tree levels
+// are adjusted to keep coverage roughly constant.
+func AblationMerkleArity(workload string, ops int) (*stats.Table, error) {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: Merkle-tree arity (%s, %d ops)", workload, ops),
+		"arity", "levels", "cycles", "meta reads")
+	for _, a := range []struct{ arity, levels int }{
+		{2, 25}, {4, 13}, {8, 9}, {16, 7},
+	} {
+		cfg := config.Default()
+		cfg.Security.MerkleArity = a.arity
+		cfg.Security.MerkleLevels = a.levels
+		r, err := Run(Request{Workload: workload, Scheme: SchemeFsEncr, Ops: ops, Cfg: &cfg})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(a.arity, a.levels, r.Cycles, r.MetaReads)
+	}
+	return tb, nil
+}
+
+// OTTGeometry is one point of the OTT-size ablation.
+type OTTGeometry struct {
+	Banks, PerBank int
+}
+
+// AblationOTTSize stresses the Open Tunnel Table with many encrypted files
+// (far more than common workloads use) and sweeps its capacity: an
+// undersized OTT forces sealed-region refills on the file-key lookup path.
+// Returns the table and the measured cycles per geometry.
+func AblationOTTSize(files, accesses int, geometries []OTTGeometry) (*stats.Table, []uint64, error) {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: OTT capacity (%d encrypted files, %d page touches)", files, accesses),
+		"entries", "cycles", "ott hit rate", "region lookups")
+	var cycles []uint64
+	for _, g := range geometries {
+		cfg := config.Default()
+		cfg.Security.OTTBanks = g.Banks
+		cfg.Security.OTTEntriesPerBank = g.PerBank
+		c, hitRate, regionLookups, err := runManyFiles(cfg, files, accesses)
+		if err != nil {
+			return nil, nil, err
+		}
+		cycles = append(cycles, c)
+		tb.AddRow(g.Banks*g.PerBank, c, fmt.Sprintf("%.2f%%", hitRate*100), regionLookups)
+	}
+	return tb, cycles, nil
+}
+
+// runManyFiles creates `files` encrypted files and touches them in uniform
+// random order, measuring the access phase: every touch resolves a file key
+// through the OTT, whose hit rate then tracks capacity/files.
+func runManyFiles(cfg config.Config, files, accesses int) (cycles uint64, ottHitRate float64, regionLookups uint64, err error) {
+	sys := kernel.Boot(cfg, SchemeFsEncr.MCMode(), kernel.ModeDAX)
+	proc := sys.NewProcess(1000, 100)
+	sys.Keyring.Login(1000, "pw")
+
+	vas := make([]addr.Virt, files)
+	for i := 0; i < files; i++ {
+		f, ferr := sys.CreateFile(proc, fmt.Sprintf("f%04d.db", i), 0600, 8<<10, true, fmt.Sprintf("pass-%d", i))
+		if ferr != nil {
+			return 0, 0, 0, ferr
+		}
+		va, merr := proc.Mmap(f, 8<<10)
+		if merr != nil {
+			return 0, 0, 0, merr
+		}
+		vas[i] = va
+		// First touch (untimed warmup): fault + tag.
+		if werr := proc.Write(va, []byte{byte(i)}); werr != nil {
+			return 0, 0, 0, werr
+		}
+		if perr := proc.Persist(va, 1); perr != nil {
+			return 0, 0, 0, perr
+		}
+	}
+
+	sys.M.SyncCores()
+	sys.M.MC.PCM.ResetTiming()
+	start := proc.Now()
+	buf := make([]byte, 64)
+	rng := sim.NewRNG(17)
+	// Uniform-random file selection with a moving in-page offset: every
+	// access misses the CPU caches and resolves a file key, and the OTT
+	// hit rate tracks capacity/files rather than LRU's cyclic worst case.
+	for i := 0; i < accesses; i++ {
+		f := rng.Intn(files)
+		off := addr.Virt(i%63*64 + 64)
+		if err := proc.Read(vas[f]+off, buf); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	cycles = uint64(proc.Now() - start)
+	ott := sys.M.MC.OTT()
+	total := ott.Hits + ott.Misses
+	if total > 0 {
+		ottHitRate = float64(ott.Hits) / float64(total)
+	}
+	return cycles, ottHitRate, sys.M.MC.OTTRegion().Lookups, nil
+}
+
+// AblationCachePartition compares the shared metadata cache against the
+// partitioned organization the paper sketches in §III-D, at equal total
+// capacity.
+func AblationCachePartition(workload string, ops int) (*stats.Table, error) {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: metadata cache organization (%s, %d ops)", workload, ops),
+		"organization", "cycles", "meta reads", "meta writebacks")
+	for _, part := range []bool{false, true} {
+		cfg := config.Default()
+		cfg.Security.PartitionMetadataCache = part
+		r, err := Run(Request{Workload: workload, Scheme: SchemeFsEncr, Ops: ops, Cfg: &cfg})
+		if err != nil {
+			return nil, err
+		}
+		name := "shared"
+		if part {
+			name = "partitioned (1/4 MECB, 1/4 FECB, 1/2 MT)"
+		}
+		tb.AddRow(name, r.Cycles, r.MetaReads, r.MetaWritebacks)
+	}
+	return tb, nil
+}

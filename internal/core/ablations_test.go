@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"fsencr/internal/config"
+)
+
+func TestAblationStopLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	tb, err := AblationStopLoss("hashmap", 250, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	t.Logf("\n%s", tb)
+}
+
+func TestAblationStopLossWritePressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// A stop-loss of 1 persists every counter bump: strictly more NVM
+	// writes than a bound of 16.
+	cfgWrites := func(n int) uint64 {
+		cfg := defaultWithStopLoss(n)
+		r, err := Run(Request{Workload: "fillseq-s", Scheme: SchemeFsEncr, Ops: 300, Cfg: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.NVMWrites
+	}
+	eager, lazy := cfgWrites(1), cfgWrites(16)
+	if eager <= lazy {
+		t.Fatalf("stop-loss 1 wrote %d, stop-loss 16 wrote %d (expected eager > lazy)", eager, lazy)
+	}
+}
+
+func TestAblationMerkleArity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	tb, err := AblationMerkleArity("dax3", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	t.Logf("\n%s", tb)
+}
+
+func TestAblationOTTSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	geoms := []OTTGeometry{{1, 32}, {1, 128}, {8, 128}}
+	tb, cycles, err := AblationOTTSize(256, 4000, geoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	// A 1024-entry OTT holds all 256 file keys; a 32-entry one thrashes.
+	// The large table must not be slower than the tiny one.
+	if cycles[2] > cycles[0] {
+		t.Fatalf("full-size OTT (%d cycles) slower than 32-entry OTT (%d cycles)", cycles[2], cycles[0])
+	}
+}
+
+func defaultWithStopLoss(n int) config.Config {
+	cfg := config.Default()
+	cfg.Security.StopLoss = n
+	return cfg
+}
+
+func TestAblationCachePartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	tb, err := AblationCachePartition("hashmap", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	t.Logf("\n%s", tb)
+}

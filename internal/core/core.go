@@ -1,0 +1,225 @@
+// Package core is the experiment harness: it assembles a full system
+// (machine + kernel + filesystem) for each protection scheme, runs the
+// Table II workloads on it with an untimed setup phase and a timed
+// measurement phase, and regenerates every figure of the paper's evaluation
+// from the collected statistics.
+package core
+
+import (
+	"fmt"
+
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+	"fsencr/internal/workloads"
+)
+
+// Scheme is one of the system configurations compared in the evaluation.
+type Scheme int
+
+// Schemes.
+const (
+	// SchemePlain is ext4-dax with no encryption at all (Figure 3's
+	// baseline).
+	SchemePlain Scheme = iota
+	// SchemeBaseline is ext4-dax plus counter-mode memory encryption with
+	// Bonsai-Merkle-tree integrity ("① Baseline Security").
+	SchemeBaseline
+	// SchemeFsEncr adds the paper's hardware-assisted filesystem
+	// encryption on top of the baseline ("② FsEncr").
+	SchemeFsEncr
+	// SchemeSWEncr is eCryptfs-style software filesystem encryption over
+	// the page cache (no DAX).
+	SchemeSWEncr
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemePlain:
+		return "ext4-dax"
+	case SchemeBaseline:
+		return "baseline"
+	case SchemeFsEncr:
+		return "fsencr"
+	case SchemeSWEncr:
+		return "swencr"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// MCMode returns the memory-controller protection mode for the scheme.
+func (s Scheme) MCMode() memctrl.Mode {
+	switch s {
+	case SchemeBaseline:
+		return memctrl.Mode{MemEncryption: true}
+	case SchemeFsEncr:
+		return memctrl.Mode{MemEncryption: true, FileEncryption: true}
+	default:
+		return memctrl.Mode{}
+	}
+}
+
+// AccessMode returns how file pages reach applications under the scheme.
+func (s Scheme) AccessMode() kernel.AccessMode {
+	if s == SchemeSWEncr {
+		return kernel.ModeSWEncrypt
+	}
+	return kernel.ModeDAX
+}
+
+// FilesEncrypted reports whether benchmark files carry filesystem
+// encryption under the scheme.
+func (s Scheme) FilesEncrypted() bool {
+	return s == SchemeFsEncr || s == SchemeSWEncr
+}
+
+// Request describes one simulation.
+type Request struct {
+	Workload string
+	Scheme   Scheme
+	// Ops is the number of timed operations per thread.
+	Ops int
+	// Seed drives the workload's random choices (defaults to 1).
+	Seed uint64
+	// Cfg overrides the Table III configuration when non-nil.
+	Cfg *config.Config
+}
+
+// Result carries the measured statistics of one simulation.
+type Result struct {
+	Workload string
+	Scheme   Scheme
+	// Cycles is the wall-clock of the timed phase (max over threads).
+	Cycles uint64
+	// NVMReads/NVMWrites count PCM line accesses during the timed phase,
+	// including security-metadata traffic.
+	NVMReads  uint64
+	NVMWrites uint64
+	// MetaReads/MetaWritebacks count the metadata share of that traffic.
+	MetaReads      uint64
+	MetaWritebacks uint64
+	// MetaHits/MetaMisses are metadata-cache probe outcomes.
+	MetaHits   uint64
+	MetaMisses uint64
+	// Faults counts minor page faults during the timed phase.
+	Faults uint64
+	// ReadLatMean/ReadLatMax summarize the latency of demand reads that
+	// missed to the memory controller (whole run, including setup).
+	ReadLatMean float64
+	ReadLatMax  uint64
+	// Ops echoes the per-thread operation count.
+	Ops int
+}
+
+// CyclesPerOp returns average cycles per timed operation.
+func (r Result) CyclesPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Ops)
+}
+
+// Run executes one simulation request.
+func Run(req Request) (Result, error) {
+	w, err := workloads.Lookup(req.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := config.Default()
+	if req.Cfg != nil {
+		cfg = *req.Cfg
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if req.Ops <= 0 {
+		return Result{}, fmt.Errorf("core: request needs a positive op count")
+	}
+
+	sys := kernel.Boot(cfg, req.Scheme.MCMode(), req.Scheme.AccessMode())
+	env := workloads.NewEnv(sys, w.Threads, req.Ops, req.Scheme.FilesEncrypted(), seed)
+	if err := w.Setup(env); err != nil {
+		return Result{}, fmt.Errorf("core: %s/%s setup: %w", req.Workload, req.Scheme, err)
+	}
+
+	// Measurement boundary: align thread clocks, quiesce bank timing, and
+	// snapshot counters. Cache contents stay warm (the paper fast-forwards,
+	// it does not flush).
+	m := sys.M
+	m.SyncCores()
+	m.MC.PCM.ResetTiming()
+	start := m.MaxCoreTime()
+	before := m.Stats().Snapshot()
+	var faultsBefore uint64
+	for _, p := range env.Procs {
+		faultsBefore += p.MinorFaults
+	}
+
+	if err := w.Run(env); err != nil {
+		return Result{}, fmt.Errorf("core: %s/%s run: %w", req.Workload, req.Scheme, err)
+	}
+
+	after := m.Stats().Snapshot()
+	delta := func(k string) uint64 { return after[k] - before[k] }
+	var faultsAfter uint64
+	for _, p := range env.Procs {
+		faultsAfter += p.MinorFaults
+	}
+
+	res := Result{
+		Workload:       req.Workload,
+		Scheme:         req.Scheme,
+		Cycles:         uint64(m.MaxCoreTime() - start),
+		NVMReads:       delta("pcm.reads"),
+		NVMWrites:      delta("pcm.writes"),
+		MetaReads:      delta("mc.meta_reads"),
+		MetaWritebacks: delta("mc.meta_writebacks"),
+		MetaHits:       delta("mc.meta_hits"),
+		MetaMisses:     delta("mc.meta_misses"),
+		Faults:         faultsAfter - faultsBefore,
+		ReadLatMean:    m.ReadLatency.Mean(),
+		ReadLatMax:     m.ReadLatency.Max(),
+		Ops:            req.Ops,
+	}
+	if v := m.MC.IntegrityViolations(); v != 0 {
+		return res, fmt.Errorf("core: %d integrity violations during %s/%s", v, req.Workload, req.Scheme)
+	}
+	return res, nil
+}
+
+// RunPair runs the same workload under two schemes with identical seeds and
+// returns (base, treatment).
+func RunPair(workload string, base, treatment Scheme, ops int, cfg *config.Config) (Result, Result, error) {
+	b, err := Run(Request{Workload: workload, Scheme: base, Ops: ops, Cfg: cfg})
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	t, err := Run(Request{Workload: workload, Scheme: treatment, Ops: ops, Cfg: cfg})
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return b, t, nil
+}
+
+// Ratio returns t/b for the given metric extractor. A zero-over-zero ratio
+// (e.g. NVM writes of a fully cached read workload) is reported as 1.0: the
+// schemes are indistinguishable on that metric.
+func Ratio(b, t Result, metric func(Result) float64) float64 {
+	bv, tv := metric(b), metric(t)
+	if bv == 0 {
+		if tv == 0 {
+			return 1
+		}
+		return 0
+	}
+	return tv / bv
+}
+
+// Metric extractors for figures.
+var (
+	MetricCycles = func(r Result) float64 { return float64(r.Cycles) }
+	MetricReads  = func(r Result) float64 { return float64(r.NVMReads) }
+	MetricWrites = func(r Result) float64 { return float64(r.NVMWrites) }
+)

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"fsencr/internal/config"
+	"fsencr/internal/stats"
+	"fsencr/internal/workloads"
+)
+
+// Workload groups used by the figures.
+var (
+	// PMEMKVWorkloads are the ten Figure 8–10 benchmarks.
+	PMEMKVWorkloads = []string{
+		"fillrandom-s", "fillrandom-l",
+		"fillseq-s", "fillseq-l",
+		"overwrite-s", "overwrite-l",
+		"readrandom-s", "readrandom-l",
+		"readseq-s", "readseq-l",
+	}
+	// WhisperWorkloads are the Figure 3/11 benchmarks.
+	WhisperWorkloads = []string{"ycsb", "hashmap", "ctree"}
+	// SyntheticWorkloads are the Figure 12–14 microbenchmarks.
+	SyntheticWorkloads = []string{"dax1", "dax2", "dax3", "dax4"}
+)
+
+// PairResults maps workload -> (base result, treatment result).
+type PairResults map[string][2]Result
+
+// RunGroup runs every workload in names under (base, treatment).
+func RunGroup(names []string, base, treatment Scheme, ops int, cfg *config.Config) (PairResults, error) {
+	out := make(PairResults, len(names))
+	for _, name := range names {
+		b, t, err := RunPair(name, base, treatment, ops, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = [2]Result{b, t}
+	}
+	return out, nil
+}
+
+// minRatioBase is the smallest base-metric value for which a normalized
+// ratio is meaningful; below it (e.g. a handful of stray writes in a pure
+// read workload) the table shows the absolute counts and "n/a", and the
+// entry is excluded from the average — matching how the paper's bars would
+// simply be absent.
+const minRatioBase = 100
+
+// ratioTable renders one normalized-metric table over a workload group.
+// The returned slice carries one ratio per name; entries with a negligible
+// base are reported as 1 (indistinguishable) in the slice.
+func ratioTable(title, metricName string, names []string, prs PairResults, metric func(Result) float64) (*stats.Table, []float64) {
+	tb := stats.NewTable(title, "benchmark", metricName+" (base)", metricName+" (treatment)", "normalized")
+	ratios := make([]float64, 0, len(names))
+	avgIn := make([]float64, 0, len(names))
+	for _, name := range names {
+		pr := prs[name]
+		if metric(pr[0]) < minRatioBase {
+			tb.AddRow(name, metric(pr[0]), metric(pr[1]), "n/a")
+			ratios = append(ratios, 1)
+			continue
+		}
+		r := Ratio(pr[0], pr[1], metric)
+		ratios = append(ratios, r)
+		avgIn = append(avgIn, r)
+		tb.AddRow(name, metric(pr[0]), metric(pr[1]), r)
+	}
+	tb.AddRow("average", "", "", stats.Mean(avgIn))
+	return tb, ratios
+}
+
+// Fig3 reproduces Figure 3: software filesystem encryption (eCryptfs model)
+// slowdown over plain ext4-dax for the Whisper benchmarks.
+func Fig3(ops int) (*stats.Table, []float64, error) {
+	prs, err := RunGroup(WhisperWorkloads, SchemePlain, SchemeSWEncr, ops, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, ratios := ratioTable(
+		"Figure 3: overheads of software encryption (normalized to ext4-dax)",
+		"cycles", WhisperWorkloads, prs, MetricCycles)
+	return tb, ratios, nil
+}
+
+// PMEMKVPairs runs every PMEMKV workload once under Baseline and FsEncr;
+// Figures 8, 9 and 10 are different projections of the same runs.
+func PMEMKVPairs(ops int) (PairResults, error) {
+	return RunGroup(PMEMKVWorkloads, SchemeBaseline, SchemeFsEncr, ops, nil)
+}
+
+// Fig8 projects slowdown from PMEMKV runs.
+func Fig8(prs PairResults) (*stats.Table, []float64) {
+	return ratioTable("Figure 8: slowdown, PMEMKV (normalized to baseline security)",
+		"cycles", PMEMKVWorkloads, prs, MetricCycles)
+}
+
+// Fig9 projects NVM write counts from PMEMKV runs.
+func Fig9(prs PairResults) (*stats.Table, []float64) {
+	return ratioTable("Figure 9: number of NVM writes, PMEMKV (normalized to baseline)",
+		"writes", PMEMKVWorkloads, prs, MetricWrites)
+}
+
+// Fig10 projects NVM read counts from PMEMKV runs.
+func Fig10(prs PairResults) (*stats.Table, []float64) {
+	return ratioTable("Figure 10: number of NVM reads, PMEMKV (normalized to baseline)",
+		"reads", PMEMKVWorkloads, prs, MetricReads)
+}
+
+// Fig11Result carries the three panels of Figure 11 plus the software
+// encryption comparison backing the paper's "98.33% slowdown reduction".
+type Fig11Result struct {
+	Slowdown  *stats.Table
+	Writes    *stats.Table
+	Reads     *stats.Table
+	Ratios    []float64 // FsEncr slowdowns, per workload
+	SWRatios  []float64 // SWEncr-over-plain slowdowns, per workload
+	Reduction float64   // 1 - mean(FsEncr overhead)/mean(SWEncr overhead)
+}
+
+// Fig11 reproduces Figure 11: Whisper slowdown/writes/reads for FsEncr over
+// the baseline, and computes the slowdown reduction versus software
+// encryption.
+func Fig11(ops int) (Fig11Result, error) {
+	prs, err := RunGroup(WhisperWorkloads, SchemeBaseline, SchemeFsEncr, ops, nil)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	var out Fig11Result
+	out.Slowdown, out.Ratios = ratioTable(
+		"Figure 11a: slowdown, Whisper (normalized to baseline)",
+		"cycles", WhisperWorkloads, prs, MetricCycles)
+	out.Writes, _ = ratioTable(
+		"Figure 11b: number of NVM writes, Whisper (normalized to baseline)",
+		"writes", WhisperWorkloads, prs, MetricWrites)
+	out.Reads, _ = ratioTable(
+		"Figure 11c: number of NVM reads, Whisper (normalized to baseline)",
+		"reads", WhisperWorkloads, prs, MetricReads)
+
+	sw, err := RunGroup(WhisperWorkloads, SchemePlain, SchemeSWEncr, ops, nil)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	for _, name := range WhisperWorkloads {
+		pr := sw[name]
+		out.SWRatios = append(out.SWRatios, Ratio(pr[0], pr[1], MetricCycles))
+	}
+	fsOver := stats.Mean(out.Ratios) - 1
+	swOver := stats.Mean(out.SWRatios) - 1
+	if swOver > 0 {
+		out.Reduction = 1 - fsOver/swOver
+	}
+	return out, nil
+}
+
+// SyntheticPairs runs the DAX microbenchmarks under Baseline and FsEncr;
+// Figures 12–14 project them.
+func SyntheticPairs(ops int) (PairResults, error) {
+	return RunGroup(SyntheticWorkloads, SchemeBaseline, SchemeFsEncr, ops, nil)
+}
+
+// Fig12 projects synthetic-microbenchmark slowdown.
+func Fig12(prs PairResults) (*stats.Table, []float64) {
+	return ratioTable("Figure 12: slowdown, synthetic microbenchmarks (normalized to baseline)",
+		"cycles", SyntheticWorkloads, prs, MetricCycles)
+}
+
+// Fig13 projects synthetic-microbenchmark NVM writes.
+func Fig13(prs PairResults) (*stats.Table, []float64) {
+	return ratioTable("Figure 13: number of NVM writes, synthetic (normalized to baseline)",
+		"writes", SyntheticWorkloads, prs, MetricWrites)
+}
+
+// Fig14 projects synthetic-microbenchmark NVM reads.
+func Fig14(prs PairResults) (*stats.Table, []float64) {
+	return ratioTable("Figure 14: number of NVM reads, synthetic (normalized to baseline)",
+		"reads", SyntheticWorkloads, prs, MetricReads)
+}
+
+// Fig15CacheSizes are the metadata-cache sizes swept in Figure 15
+// (128 KB – 2 MB, as in the paper).
+var Fig15CacheSizes = []int{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
+
+// Fig15Workloads are the representatives studied in Figure 15.
+var Fig15Workloads = []string{"fillrandom-l", "hashmap", "dax2"}
+
+// fig15Ops gives each Figure 15 workload an op count whose security-
+// metadata working set straddles the swept cache range, so capacity
+// behaviour (not just compulsory misses) is visible. The hashmap run is
+// longer than its Table II default because its footprint grows slowly.
+var fig15Ops = map[string]int{
+	"fillrandom-l": 1500,
+	"hashmap":      20000,
+	"dax2":         400000,
+}
+
+// Fig15 reproduces the metadata-cache sensitivity study: percent slowdown
+// of FsEncr over the baseline at each cache size. opsOverride <= 0 uses
+// each workload's full-scale BenchOps.
+func Fig15(opsOverride int) (*stats.Table, map[string][]float64, error) {
+	tb := stats.NewTable("Figure 15: sensitivity to metadata cache size (% slowdown over baseline)",
+		append([]string{"benchmark"}, sizeLabels()...)...)
+	series := make(map[string][]float64, len(Fig15Workloads))
+	for _, name := range Fig15Workloads {
+		ops := opsOverride
+		if ops <= 0 {
+			ops = fig15Ops[name]
+		}
+		row := []interface{}{name}
+		for _, size := range Fig15CacheSizes {
+			cfg := config.Default()
+			cfg.Security.MetadataCacheSize = size
+			b, t, err := RunPair(name, SchemeBaseline, SchemeFsEncr, ops, &cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			pct := (Ratio(b, t, MetricCycles) - 1) * 100
+			series[name] = append(series[name], pct)
+			row = append(row, fmt.Sprintf("%.2f%%", pct))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, series, nil
+}
+
+func sizeLabels() []string {
+	out := make([]string, len(Fig15CacheSizes))
+	for i, s := range Fig15CacheSizes {
+		if s >= 1<<20 {
+			out[i] = fmt.Sprintf("%dMB", s>>20)
+		} else {
+			out[i] = fmt.Sprintf("%dKB", s>>10)
+		}
+	}
+	return out
+}
+
+// TableII renders the workload registry as the paper's Table II.
+func TableII() *stats.Table {
+	tb := stats.NewTable("Table II: benchmark descriptions", "benchmark", "threads", "description")
+	for _, name := range workloads.Names() {
+		w, _ := workloads.Lookup(name)
+		tb.AddRow(w.Name, w.Threads, w.Desc)
+	}
+	return tb
+}

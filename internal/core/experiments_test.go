@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+)
+
+// Integration tests for the figure pipelines. They use reduced op counts
+// (the bench harness runs the full-scale versions) and assert the paper's
+// qualitative shapes, not absolute numbers.
+
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// YCSB's software-encryption penalty needs its working set to exceed
+	// the page cache; 1500 ops gives a 48k-record table (~3000 pages).
+	_, ratios, err := Fig3(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ratios {
+		if r < 1.3 {
+			t.Fatalf("software encryption too cheap for %s: %.2fx", WhisperWorkloads[i], r)
+		}
+		if r > 30 {
+			t.Fatalf("software encryption implausibly slow for %s: %.2fx", WhisperWorkloads[i], r)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	res, err := Fig11(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Ratios {
+		if r < 0.99 || r > 1.5 {
+			t.Fatalf("FsEncr slowdown for %s out of band: %.3f", WhisperWorkloads[i], r)
+		}
+	}
+	// The headline claim: hardware support removes the vast majority of
+	// filesystem-encryption overhead (paper: 98.33%).
+	if res.Reduction < 0.80 {
+		t.Fatalf("slowdown reduction only %.1f%%", res.Reduction*100)
+	}
+}
+
+func TestFig8To10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	prs, err := PMEMKVPairs(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, slow := Fig8(prs)
+	_, writes := Fig9(prs)
+	_, reads := Fig10(prs)
+	for i, name := range PMEMKVWorkloads {
+		if slow[i] < 0.98 || slow[i] > 1.6 {
+			t.Fatalf("%s slowdown out of band: %.3f", name, slow[i])
+		}
+		if writes[i] < 0.98 || reads[i] < 0.9 {
+			t.Fatalf("%s traffic ratios implausible: w=%.3f r=%.3f", name, writes[i], reads[i])
+		}
+	}
+	// Read-intensive S workloads must be near-free; write-intensive ones
+	// must carry visible write amplification.
+	idx := func(n string) int {
+		for i, w := range PMEMKVWorkloads {
+			if w == n {
+				return i
+			}
+		}
+		return -1
+	}
+	if slow[idx("readrandom-s")] > 1.05 {
+		t.Fatalf("readrandom-s overhead too high: %.3f", slow[idx("readrandom-s")])
+	}
+	if writes[idx("fillrandom-s")] < 1.05 {
+		t.Fatalf("fillrandom-s write amplification missing: %.3f", writes[idx("fillrandom-s")])
+	}
+}
+
+func TestFig12To14Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	prs, err := SyntheticPairs(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, slow := Fig12(prs)
+	_, _ = Fig13(prs)
+	_, reads := Fig14(prs)
+	for i, name := range SyntheticWorkloads {
+		if slow[i] < 0.99 || slow[i] > 2.0 {
+			t.Fatalf("%s slowdown out of band: %.3f", name, slow[i])
+		}
+		if reads[i] < 0.99 {
+			t.Fatalf("%s read ratio < 1: %.3f", name, reads[i])
+		}
+	}
+}
+
+func TestFig15Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	_, series, err := Fig15(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig15Workloads) {
+		t.Fatalf("series for %d workloads", len(series))
+	}
+	for name, pts := range series {
+		if len(pts) != len(Fig15CacheSizes) {
+			t.Fatalf("%s has %d points", name, len(pts))
+		}
+		for _, p := range pts {
+			if p < -5 || p > 100 {
+				t.Fatalf("%s slowdown %.2f%% implausible", name, p)
+			}
+		}
+	}
+}
+
+func TestAllSchemesAllWorkloadsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	for _, wl := range []string{"dax2", "dax4", "fillseq-l", "overwrite-s", "readseq-s", "ycsb"} {
+		for _, sc := range []Scheme{SchemePlain, SchemeBaseline, SchemeFsEncr, SchemeSWEncr} {
+			if _, err := Run(Request{Workload: wl, Scheme: sc, Ops: 60}); err != nil {
+				t.Fatalf("%s/%s: %v", wl, sc, err)
+			}
+		}
+	}
+}

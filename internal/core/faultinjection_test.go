@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/kvstore"
+	"fsencr/internal/pmem"
+	"fsencr/internal/sim"
+)
+
+// TestCrashInjectionDuringKVWorkload power-fails the machine at
+// pseudo-random points while a KV store is being populated under FsEncr,
+// recovers each time, and verifies that every operation completed before
+// each crash is intact — end to end through the encrypted stack.
+func TestCrashInjectionDuringKVWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	sys := kernel.Boot(config.Default(), SchemeFsEncr.MCMode(), kernel.ModeDAX)
+	proc := sys.NewProcess(1000, 100)
+	file, err := sys.CreateFile(proc, "fault.pool", 0600, 32<<20, true, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := pmem.Create(proc, file, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := kvstore.Create(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := sim.NewRNG(99)
+	model := map[uint64][]byte{}
+	val := make([]byte, 48)
+	buf := make([]byte, 64)
+	const totalOps = 1200
+	nextCrash := int(rng.Uint64n(80)) + 20
+
+	for op := 0; op < totalOps; op++ {
+		k := rng.Uint64n(400)
+		rng.Bytes(val)
+		if err := tree.Put(k, val); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		model[k] = append([]byte(nil), val...)
+
+		if op == nextCrash {
+			// Alternate between crashes with and without backup power:
+			// either way the file key survives — flushed by residual
+			// energy or already logged to the sealed region at install
+			// time (§III-H).
+			backup := rng.Intn(2) == 0
+			sys.M.Crash(backup)
+			if err := sys.M.Recover(); err != nil {
+				t.Fatalf("recovery after crash at op %d (backup=%v): %v", op, backup, err)
+			}
+			// Verify everything persisted so far.
+			for key, want := range model {
+				n, err := tree.Get(key, buf)
+				if err != nil {
+					t.Fatalf("after crash at op %d: key %d: %v", op, key, err)
+				}
+				if !bytes.Equal(buf[:n], want) {
+					t.Fatalf("after crash at op %d: key %d corrupted", op, key)
+				}
+			}
+			nextCrash = op + int(rng.Uint64n(200)) + 50
+		}
+	}
+	// Final verification.
+	for key, want := range model {
+		n, err := tree.Get(key, buf)
+		if err != nil || !bytes.Equal(buf[:n], want) {
+			t.Fatalf("final check: key %d: %v", key, err)
+		}
+	}
+	if v := sys.M.MC.IntegrityViolations(); v != 0 {
+		t.Fatalf("%d integrity violations", v)
+	}
+	t.Logf("survived crash injections; %s", fmt.Sprintf("%d ops, %d keys", totalOps, len(model)))
+}
+
+// TestKeysDurableViaOTTLogging verifies §III-H option 1: OTT updates are
+// logged to the sealed region at install time, so even a crash with no
+// backup power (on-chip OTT lost) leaves every file key recoverable from
+// the encrypted OTT region — and file data readable after recovery.
+func TestKeysDurableViaOTTLogging(t *testing.T) {
+	sys := kernel.Boot(config.Default(), SchemeFsEncr.MCMode(), kernel.ModeDAX)
+	proc := sys.NewProcess(1000, 100)
+	file, err := sys.CreateFile(proc, "durablekey.db", 0600, 8<<10, true, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := proc.Mmap(file, 8<<10)
+	secret := []byte("key survives in sealed region")
+	proc.Write(va, secret)
+	proc.Persist(va, uint64(len(secret)))
+
+	sys.M.Crash(false) // no backup power: on-chip OTT is gone
+	if err := sys.M.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.M.MC.OTT().Len() != 0 {
+		t.Fatal("OTT survived a crash without backup power")
+	}
+	if sys.M.MC.OTTRegion().Len() == 0 {
+		t.Fatal("sealed region lost the logged key")
+	}
+	got := make([]byte, len(secret))
+	proc.Read(va, got)
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("file unreadable despite logged key: %q", got)
+	}
+}

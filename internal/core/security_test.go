@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/config"
+	"fsencr/internal/fs"
+	"fsencr/internal/kernel"
+)
+
+// victim sets up a system with two users' encrypted files holding known
+// secrets and returns everything an attacker scenario needs.
+type victim struct {
+	sys     *kernel.System
+	alice   *kernel.Process
+	bob     *kernel.Process
+	fileA   *fs.File
+	fileB   *fs.File
+	secretA []byte
+	secretB []byte
+}
+
+const (
+	alicePass = "alice-passphrase"
+	bobPass   = "bob-passphrase"
+)
+
+func setupVictim(t *testing.T, scheme Scheme) *victim {
+	t.Helper()
+	v := &victim{
+		sys:     kernel.Boot(config.Default(), scheme.MCMode(), scheme.AccessMode()),
+		secretA: []byte("ALICE-SECRET-0123456789abcdefghi"),
+		secretB: []byte("BOB-SECRET-zyxwvutsrqponmlkjihgf"),
+	}
+	v.alice = v.sys.NewProcess(1000, 100)
+	v.bob = v.sys.NewProcess(1001, 101)
+	var err error
+	enc := scheme.FilesEncrypted()
+	v.fileA, err = v.sys.CreateFile(v.alice, "alice.db", 0600, 8<<10, enc, alicePass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.fileB, err = v.sys.CreateFile(v.bob, "bob.db", 0600, 8<<10, enc, bobPass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(p *kernel.Process, f *fs.File, secret []byte) {
+		va, err := p.Mmap(f, 8<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Write(va, secret); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Persist(va, uint64(len(secret))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(v.alice, v.fileA, v.secretA)
+	write(v.bob, v.fileB, v.secretB)
+	v.sys.M.WritebackAll()
+	return v
+}
+
+// pageAddr returns the (DF-tagged, where applicable) physical address of a
+// file's first page.
+func (v *victim) pageAddr(f *fs.File, df bool) addr.Phys {
+	pa, _ := f.PagePA(0)
+	if df {
+		pa = pa.WithDF()
+	}
+	return pa
+}
+
+// TestTableIVulnerability reproduces Table I: which secrets fall when which
+// keys are revealed, for System A (memory encryption only) and System C
+// (per-file keys, FsEncr). System B (one key for the whole filesystem) sits
+// between them and is covered by the A and C extremes.
+func TestTableIVulnerability(t *testing.T) {
+	// Row 1: memory encryption key revealed.
+	t.Run("MemKeyRevealed/SystemA", func(t *testing.T) {
+		v := setupVictim(t, SchemeBaseline) // System A: files are ordinary memory
+		line := v.sys.M.MC.DecryptWithMemoryKeyOnly(v.pageAddr(v.fileA, false))
+		if !bytes.Contains(line[:], v.secretA[:16]) {
+			t.Fatal("System A: memory key should expose file data (vulnerable per Table I)")
+		}
+	})
+	t.Run("MemKeyRevealed/SystemC", func(t *testing.T) {
+		v := setupVictim(t, SchemeFsEncr) // System C: per-file keys on top
+		for _, f := range []*fs.File{v.fileA, v.fileB} {
+			line := v.sys.M.MC.DecryptWithMemoryKeyOnly(v.pageAddr(f, true))
+			if bytes.Contains(line[:], v.secretA[:16]) || bytes.Contains(line[:], v.secretB[:16]) {
+				t.Fatal("System C: memory key alone exposed file data")
+			}
+		}
+	})
+
+	// Row 2: memory key + one user's file key revealed: in System C only
+	// that user's files fall.
+	t.Run("OneFileKeyRevealed/SystemC", func(t *testing.T) {
+		v := setupVictim(t, SchemeFsEncr)
+		// Alice's passphrase leaks: her file opens, Bob's does not.
+		if _, err := v.sys.OpenFile(v.alice, "alice.db", fs.ReadAccess, alicePass); err != nil {
+			t.Fatalf("legitimate open failed: %v", err)
+		}
+		if _, err := v.sys.OpenFile(v.bob, "bob.db", fs.ReadAccess, alicePass); err == nil {
+			t.Fatal("Alice's leaked passphrase opened Bob's file")
+		}
+	})
+
+	// Row 3: all keys revealed: everything falls, in any system. (Sanity
+	// check that the legitimate path works at all.)
+	t.Run("AllKeysRevealed", func(t *testing.T) {
+		v := setupVictim(t, SchemeFsEncr)
+		if _, err := v.sys.OpenFile(v.alice, "alice.db", fs.ReadAccess, alicePass); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.sys.OpenFile(v.bob, "bob.db", fs.ReadAccess, bobPass); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestStolenDIMM models Attacker X (Figure 4): physical possession of the
+// NVM module. Raw scans must reveal nothing under any encrypted scheme.
+func TestStolenDIMM(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeFsEncr} {
+		v := setupVictim(t, scheme)
+		raw := v.sys.M.MC.RawLine(v.pageAddr(v.fileA, scheme == SchemeFsEncr))
+		if bytes.Contains(raw[:], v.secretA[:16]) {
+			t.Fatalf("%v: plaintext on stolen DIMM", scheme)
+		}
+	}
+	// Under no encryption, the attack succeeds — the contrast that
+	// motivates memory encryption at all.
+	v := setupVictim(t, SchemePlain)
+	raw := v.sys.M.MC.RawLine(v.pageAddr(v.fileA, false))
+	if !bytes.Contains(raw[:], v.secretA[:16]) {
+		t.Fatal("plain scheme unexpectedly hid data")
+	}
+}
+
+// TestAlienOSBoot models the §VI internal attacker: physical access, boots
+// their own OS, fails admin authentication. FsEncr locks and file data
+// stays wrapped in file OTPs.
+func TestAlienOSBoot(t *testing.T) {
+	v := setupVictim(t, SchemeFsEncr)
+	if v.sys.AuthenticateAdmin("stolen-guess", "real-admin-pass") {
+		t.Fatal("wrong admin passphrase accepted")
+	}
+	// Attacker scans memory through the (locked) controller.
+	v.sys.M.Crash(true)
+	if err := v.sys.M.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	pa := v.pageAddr(v.fileA, true)
+	line, _ := v.sys.M.MC.ReadLine(0, pa)
+	if bytes.Contains(line[:], v.secretA[:16]) {
+		t.Fatal("locked FsEncr served file plaintext to alien OS")
+	}
+}
+
+// TestOTTRegionHidesKeys verifies §VI "Memory Encryption Key Revealed": file
+// keys spilled to memory live only in the OTT-key-sealed region, so the
+// memory key alone cannot recover them.
+func TestOTTRegionHidesKeys(t *testing.T) {
+	v := setupVictim(t, SchemeFsEncr)
+	// Force the OTT entries into the sealed region.
+	v.sys.M.Crash(true) // backup power flushes OTT to region
+	if err := v.sys.M.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	aliceKey := kernel.DeriveFileKey(alicePass, v.fileA.Salt)
+	for _, rec := range v.sys.M.MC.OTTRegion().SealedRecords() {
+		if bytes.Contains(rec[:], aliceKey[:8]) {
+			t.Fatal("file key bytes visible in sealed OTT region")
+		}
+	}
+}
+
+// TestSecureDeletionEndToEnd verifies §VI secure deletion: after unlink,
+// even the owner with the correct key cannot recover the data from the old
+// physical pages.
+func TestSecureDeletionEndToEnd(t *testing.T) {
+	v := setupVictim(t, SchemeFsEncr)
+	pa := v.pageAddr(v.fileA, true)
+	if err := v.sys.Unlink(v.alice, "alice.db"); err != nil {
+		t.Fatal(err)
+	}
+	line, _ := v.sys.M.MC.ReadLine(0, pa)
+	if bytes.Contains(line[:], v.secretA[:16]) {
+		t.Fatal("deleted data recoverable from old pages")
+	}
+}

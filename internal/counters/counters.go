@@ -1,0 +1,190 @@
+// Package counters implements the split-counter security metadata of the
+// paper (§III-D and Figure 6):
+//
+//   - MECB (Memory Encryption Counter Block): one 64-bit major counter and
+//     64 seven-bit minor counters, covering one 4 KB page; one 64-byte line.
+//   - FECB (File Encryption Counter Block): an 18-bit Group ID, a 14-bit
+//     File ID, a 32-bit major counter, and 64 seven-bit minor counters;
+//     also exactly one 64-byte line.
+//
+// A data line's encryption counter is (major, minor[lineInPage]). Every
+// write increments the line's minor counter; a minor overflow increments the
+// major counter, resets all minors, and forces a re-encryption of the whole
+// page (all 64 lines) because their OTPs all change.
+package counters
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fsencr/internal/config"
+)
+
+// MECB is a memory-encryption counter block covering one 4 KB page.
+type MECB struct {
+	Major uint64
+	Minor [config.LinesPerPage]uint8 // 7-bit values
+}
+
+// FECB is a file-encryption counter block covering one 4 KB page of a DAX
+// file, tagged with the owning file's identity so the memory controller can
+// locate the file key in the Open Tunnel Table.
+type FECB struct {
+	GroupID uint32 // 18 bits
+	FileID  uint16 // 14 bits
+	Major   uint32
+	Minor   [config.LinesPerPage]uint8 // 7-bit values
+}
+
+// Limits of the packed identity fields.
+const (
+	MaxGroupID = 1<<18 - 1
+	MaxFileID  = 1<<14 - 1
+)
+
+// Block is a serialized 64-byte counter block as it lives in the metadata
+// region of memory (and in the metadata cache).
+type Block [config.LineSize]byte
+
+// packMinors packs 64 7-bit minors into 56 bytes starting at b[off].
+func packMinors(b []byte, minors *[config.LinesPerPage]uint8) {
+	var acc uint64
+	var nbits uint
+	j := 0
+	for i := 0; i < config.LinesPerPage; i++ {
+		acc |= uint64(minors[i]&config.MinorCounterMax) << nbits
+		nbits += config.MinorCounterBits
+		for nbits >= 8 {
+			b[j] = byte(acc)
+			acc >>= 8
+			nbits -= 8
+			j++
+		}
+	}
+	if nbits > 0 {
+		b[j] = byte(acc)
+	}
+}
+
+// unpackMinors reverses packMinors.
+func unpackMinors(b []byte, minors *[config.LinesPerPage]uint8) {
+	var acc uint64
+	var nbits uint
+	j := 0
+	for i := 0; i < config.LinesPerPage; i++ {
+		for nbits < config.MinorCounterBits {
+			acc |= uint64(b[j]) << nbits
+			nbits += 8
+			j++
+		}
+		minors[i] = uint8(acc & config.MinorCounterMax)
+		acc >>= config.MinorCounterBits
+		nbits -= config.MinorCounterBits
+	}
+}
+
+// Encode serializes the MECB into its 64-byte line: 8 bytes of major counter
+// followed by 56 bytes of packed minors.
+func (m *MECB) Encode() Block {
+	var b Block
+	binary.LittleEndian.PutUint64(b[0:8], m.Major)
+	packMinors(b[8:], &m.Minor)
+	return b
+}
+
+// DecodeMECB parses a serialized MECB.
+func DecodeMECB(b Block) MECB {
+	var m MECB
+	m.Major = binary.LittleEndian.Uint64(b[0:8])
+	unpackMinors(b[8:], &m.Minor)
+	return m
+}
+
+// Encode serializes the FECB into its 64-byte line: 4 bytes packing the
+// 18-bit Group ID and 14-bit File ID, 4 bytes of major counter, then 56
+// bytes of packed minors.
+func (f *FECB) Encode() (Block, error) {
+	if f.GroupID > MaxGroupID {
+		return Block{}, fmt.Errorf("counters: group ID %d exceeds 18 bits", f.GroupID)
+	}
+	if f.FileID > MaxFileID {
+		return Block{}, fmt.Errorf("counters: file ID %d exceeds 14 bits", f.FileID)
+	}
+	var b Block
+	tag := uint32(f.GroupID) | uint32(f.FileID)<<18
+	binary.LittleEndian.PutUint32(b[0:4], tag)
+	binary.LittleEndian.PutUint32(b[4:8], f.Major)
+	packMinors(b[8:], &f.Minor)
+	return b, nil
+}
+
+// MustEncode is Encode for callers that have already validated the IDs.
+func (f *FECB) MustEncode() Block {
+	b, err := f.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// DecodeFECB parses a serialized FECB.
+func DecodeFECB(b Block) FECB {
+	var f FECB
+	tag := binary.LittleEndian.Uint32(b[0:4])
+	f.GroupID = tag & MaxGroupID
+	f.FileID = uint16(tag >> 18 & MaxFileID)
+	f.Major = binary.LittleEndian.Uint32(b[4:8])
+	unpackMinors(b[8:], &f.Minor)
+	return f
+}
+
+// BumpResult describes the effect of incrementing a minor counter.
+type BumpResult struct {
+	// Overflowed reports that the minor counter wrapped; the caller must
+	// re-encrypt the whole page under the new major counter.
+	Overflowed bool
+	// MajorWrapped reports that the major counter itself wrapped, which for
+	// file counters means the file key must be rotated (§VI, "Resetting
+	// Filesystem Encryption Counters").
+	MajorWrapped bool
+}
+
+// Bump increments the minor counter for line (0..63), handling overflow.
+func (m *MECB) Bump(line int) BumpResult {
+	if m.Minor[line] < config.MinorCounterMax {
+		m.Minor[line]++
+		return BumpResult{}
+	}
+	m.Major++
+	for i := range m.Minor {
+		m.Minor[i] = 0
+	}
+	m.Minor[line] = 1
+	return BumpResult{Overflowed: true, MajorWrapped: m.Major == 0}
+}
+
+// Bump increments the minor counter for line (0..63), handling overflow.
+func (f *FECB) Bump(line int) BumpResult {
+	if f.Minor[line] < config.MinorCounterMax {
+		f.Minor[line]++
+		return BumpResult{}
+	}
+	f.Major++
+	for i := range f.Minor {
+		f.Minor[i] = 0
+	}
+	f.Minor[line] = 1
+	return BumpResult{Overflowed: true, MajorWrapped: f.Major == 0}
+}
+
+// Reset zeroes the counters (Silent-Shredder-style secure deletion: with the
+// counters gone, previous ciphertext can no longer be decrypted even with
+// the correct key, because the OTPs cannot be regenerated).
+func (f *FECB) Reset() {
+	f.Major = 0
+	for i := range f.Minor {
+		f.Minor[i] = 0
+	}
+	f.GroupID = 0
+	f.FileID = 0
+}

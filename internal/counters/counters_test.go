@@ -1,0 +1,138 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fsencr/internal/config"
+)
+
+func TestMECBEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(major uint64, minors [config.LinesPerPage]uint8) bool {
+		m := MECB{Major: major}
+		for i := range minors {
+			m.Minor[i] = minors[i] & config.MinorCounterMax
+		}
+		got := DecodeMECB(m.Encode())
+		return got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFECBEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(group uint32, file uint16, major uint32, minors [config.LinesPerPage]uint8) bool {
+		fe := FECB{GroupID: group & MaxGroupID, FileID: file & MaxFileID, Major: major}
+		for i := range minors {
+			fe.Minor[i] = minors[i] & config.MinorCounterMax
+		}
+		b, err := fe.Encode()
+		if err != nil {
+			return false
+		}
+		return DecodeFECB(b) == fe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFECBEncodeRejectsOversizeIDs(t *testing.T) {
+	f := FECB{GroupID: MaxGroupID + 1}
+	if _, err := f.Encode(); err == nil {
+		t.Fatal("19-bit group accepted")
+	}
+	f = FECB{FileID: MaxFileID + 1}
+	if _, err := f.Encode(); err == nil {
+		t.Fatal("15-bit file ID accepted")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEncode did not panic on bad IDs")
+		}
+	}()
+	f := FECB{GroupID: MaxGroupID + 1}
+	f.MustEncode()
+}
+
+func TestMECBBump(t *testing.T) {
+	var m MECB
+	for i := 0; i < config.MinorCounterMax; i++ {
+		if r := m.Bump(5); r.Overflowed {
+			t.Fatalf("premature overflow at %d", i)
+		}
+	}
+	if m.Minor[5] != config.MinorCounterMax {
+		t.Fatalf("minor = %d", m.Minor[5])
+	}
+	r := m.Bump(5)
+	if !r.Overflowed {
+		t.Fatal("no overflow at 127->128")
+	}
+	if m.Major != 1 {
+		t.Fatalf("major = %d", m.Major)
+	}
+	if m.Minor[5] != 1 {
+		t.Fatalf("bumped minor after overflow = %d", m.Minor[5])
+	}
+	for i, v := range m.Minor {
+		if i != 5 && v != 0 {
+			t.Fatalf("minor %d not reset: %d", i, v)
+		}
+	}
+}
+
+func TestFECBBumpOverflow(t *testing.T) {
+	var f FECB
+	f.Minor[0] = config.MinorCounterMax
+	r := f.Bump(0)
+	if !r.Overflowed || f.Major != 1 || f.Minor[0] != 1 {
+		t.Fatalf("overflow handling wrong: %+v major=%d minor=%d", r, f.Major, f.Minor[0])
+	}
+}
+
+func TestFECBMajorWrap(t *testing.T) {
+	f := FECB{Major: ^uint32(0)}
+	f.Minor[3] = config.MinorCounterMax
+	r := f.Bump(3)
+	if !r.MajorWrapped {
+		t.Fatal("major wrap not reported (key rotation trigger)")
+	}
+}
+
+func TestFECBReset(t *testing.T) {
+	f := FECB{GroupID: 5, FileID: 6, Major: 7}
+	f.Minor[0] = 9
+	f.Reset()
+	if f.GroupID != 0 || f.FileID != 0 || f.Major != 0 || f.Minor[0] != 0 {
+		t.Fatalf("reset incomplete: %+v", f)
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	var m MECB
+	if len(m.Encode()) != config.LineSize {
+		t.Fatal("MECB not one cache line")
+	}
+	var f FECB
+	if len(f.MustEncode()) != config.LineSize {
+		t.Fatal("FECB not one cache line")
+	}
+}
+
+func TestDistinctBlocksEncodeDistinctly(t *testing.T) {
+	a := MECB{Major: 1}
+	b := MECB{Major: 2}
+	if a.Encode() == b.Encode() {
+		t.Fatal("distinct majors encode identically")
+	}
+	fa := FECB{GroupID: 1}
+	fb := FECB{FileID: 1}
+	if fa.MustEncode() == fb.MustEncode() {
+		t.Fatal("group and file IDs aliased in encoding")
+	}
+}

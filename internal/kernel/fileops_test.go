@@ -1,0 +1,189 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fsencr/internal/fs"
+)
+
+func TestRotateFilePassphrase(t *testing.T) {
+	s := bootFsEncr()
+	p := s.NewProcess(1000, 100)
+	f := mkfile(t, s, p, "rot.db", 16<<10, true)
+	va, _ := p.Mmap(f, 16<<10)
+	secret := []byte("ROTATE-ME-SECRET-0123456789ABCDE")
+	if err := p.Write(va, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Persist(va, uint64(len(secret))); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := f.PagePA(0)
+	s.M.WritebackAll()
+	ctBefore := s.M.MC.RawLine(pa.WithDF())
+
+	if err := s.RotateFilePassphrase(p, "rot.db", pass, "brand-new-pass"); err != nil {
+		t.Fatal(err)
+	}
+	// Old passphrase no longer opens; new one does.
+	if _, err := s.OpenFile(p, "rot.db", fs.ReadAccess, pass); !errors.Is(err, ErrWrongPassphrase) {
+		t.Fatalf("old passphrase after rotation: %v", err)
+	}
+	if _, err := s.OpenFile(p, "rot.db", fs.ReadAccess, "brand-new-pass"); err != nil {
+		t.Fatal(err)
+	}
+	// Data still reads back correctly through the normal path.
+	got := make([]byte, len(secret))
+	if err := p.Read(va, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("plaintext lost by rotation: %q", got)
+	}
+	// Ciphertext at rest changed.
+	if s.M.MC.RawLine(pa.WithDF()) == ctBefore {
+		t.Fatal("rotation left ciphertext unchanged")
+	}
+	if s.M.Stats().Get("mc.key_rotations") == 0 {
+		t.Fatal("no rotations recorded")
+	}
+}
+
+func TestRotateRequiresOldPassphrase(t *testing.T) {
+	s := bootFsEncr()
+	p := s.NewProcess(1000, 100)
+	mkfile(t, s, p, "rot2.db", 8<<10, true)
+	if err := s.RotateFilePassphrase(p, "rot2.db", "wrong", "new"); !errors.Is(err, ErrWrongPassphrase) {
+		t.Fatalf("rotation with wrong passphrase: %v", err)
+	}
+}
+
+func TestRotatePermission(t *testing.T) {
+	s := bootFsEncr()
+	owner := s.NewProcess(1000, 100)
+	mkfile(t, s, owner, "rot3.db", 8<<10, true)
+	other := s.NewProcess(2000, 200)
+	if err := s.RotateFilePassphrase(other, "rot3.db", pass, "x"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-owner rotation: %v", err)
+	}
+}
+
+func TestRotateSurvivesCrash(t *testing.T) {
+	s := bootFsEncr()
+	p := s.NewProcess(1000, 100)
+	f := mkfile(t, s, p, "rot4.db", 8<<10, true)
+	va, _ := p.Mmap(f, 8<<10)
+	secret := []byte("crash after rotation!!")
+	p.Write(va, secret)
+	p.Persist(va, uint64(len(secret)))
+	if err := s.RotateFilePassphrase(p, "rot4.db", pass, "post-crash-pass"); err != nil {
+		t.Fatal(err)
+	}
+	s.M.Crash(true)
+	if err := s.M.Recover(); err != nil {
+		t.Fatalf("recover after rotation: %v", err)
+	}
+	got := make([]byte, len(secret))
+	p.Read(va, got)
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("rotated data lost in crash: %q", got)
+	}
+}
+
+func TestCopyFile(t *testing.T) {
+	s := bootFsEncr()
+	p := s.NewProcess(1000, 100)
+	src := mkfile(t, s, p, "orig.db", 12<<10, true)
+	va, _ := p.Mmap(src, 12<<10)
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	p.Write(va, payload)
+	p.Persist(va, uint64(len(payload)))
+
+	dst, err := s.CopyFile(p, "orig.db", "copy.db", 0600, pass, "copy-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Ino == src.Ino {
+		t.Fatal("copy shares the inode")
+	}
+	// Same plaintext through the copy's mapping.
+	dva, _ := p.Mmap(dst, 12<<10)
+	got := make([]byte, len(payload))
+	p.Read(dva, got)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("copy contents differ")
+	}
+	// Distinct ciphertext at rest (different pages, counters, and key):
+	// no OTP reuse across the copy (§VI).
+	s.M.WritebackAll()
+	spa, _ := src.PagePA(0)
+	dpa, _ := dst.PagePA(0)
+	if s.M.MC.RawLine(spa.WithDF()) == s.M.MC.RawLine(dpa.WithDF()) {
+		t.Fatal("copy has identical ciphertext (OTP reuse)")
+	}
+	// The copy opens only with its own passphrase.
+	if _, err := s.OpenFile(p, "copy.db", fs.ReadAccess, pass); err == nil {
+		t.Fatal("copy opened with source passphrase")
+	}
+	if _, err := s.OpenFile(p, "copy.db", fs.ReadAccess, "copy-pass"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyFileRequiresSourceAccess(t *testing.T) {
+	s := bootFsEncr()
+	owner := s.NewProcess(1000, 100)
+	mkfile(t, s, owner, "private.db", 8<<10, true)
+	other := s.NewProcess(2000, 200)
+	if _, err := s.CopyFile(other, "private.db", "theft.db", 0600, pass, "x"); err == nil {
+		t.Fatal("copy of unreadable file succeeded")
+	}
+}
+
+func TestChangeGroupRekeysController(t *testing.T) {
+	s := bootFsEncr()
+	p := s.NewProcess(1000, 100)
+	f := mkfile(t, s, p, "grp.db", 8<<10, true)
+	va, _ := p.Mmap(f, 8<<10)
+	secret := []byte("group-moved data bytes")
+	p.Write(va, secret)
+	p.Persist(va, uint64(len(secret)))
+
+	if err := s.ChangeGroup(p, "grp.db", 777, pass); err != nil {
+		t.Fatal(err)
+	}
+	if f.GroupID != 777 {
+		t.Fatal("group not changed")
+	}
+	// Opens still verify under the new group.
+	if _, err := s.OpenFile(p, "grp.db", fs.ReadAccess, pass); err != nil {
+		t.Fatalf("open after chgrp: %v", err)
+	}
+	// Data still decrypts (FECB re-tagged, key re-registered).
+	s.M.Crash(true)
+	if err := s.M.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(secret))
+	p.Read(va, got)
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("data lost across chgrp: %q", got)
+	}
+}
+
+func TestChangeGroupWrongPassphraseRollsBack(t *testing.T) {
+	s := bootFsEncr()
+	p := s.NewProcess(1000, 100)
+	f := mkfile(t, s, p, "grp2.db", 8<<10, true)
+	if err := s.ChangeGroup(p, "grp2.db", 777, "bad-pass"); !errors.Is(err, ErrWrongPassphrase) {
+		t.Fatalf("chgrp with wrong passphrase: %v", err)
+	}
+	if f.GroupID != 100 {
+		t.Fatal("failed chgrp left the group changed")
+	}
+}

@@ -1,0 +1,55 @@
+// Package kernel models the co-designed operating system of the paper: DAX
+// memory-mapping with DF-bit page-table entries, the MMIO protocol to the
+// memory controller (key install/remove, FECB tagging during page faults),
+// the keyring-based key hierarchy, Unix permission enforcement, the
+// conventional page-cache file path, and the eCryptfs-style software
+// encryption baseline.
+package kernel
+
+import (
+	"crypto/sha256"
+
+	"fsencr/internal/aesctr"
+)
+
+// Keyring models the Linux keyring mechanism the paper's key management
+// builds on (§III-E): a user's session holds a master key derived from the
+// login passphrase; per-file keys are derived from the owner's passphrase
+// and the file's salt, eCryptfs-style (FEK wrapped by FEKEK).
+type Keyring struct {
+	sessions map[uint32][32]byte // uid -> master key material
+}
+
+// NewKeyring returns an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{sessions: make(map[uint32][32]byte)}
+}
+
+// Login derives and installs the user's session master key.
+func (k *Keyring) Login(uid uint32, passphrase string) {
+	k.sessions[uid] = sha256.Sum256([]byte("fekek:" + passphrase))
+}
+
+// Logout discards the session key.
+func (k *Keyring) Logout(uid uint32) { delete(k.sessions, uid) }
+
+// HasSession reports whether uid is logged in.
+func (k *Keyring) HasSession(uid uint32) bool {
+	_, ok := k.sessions[uid]
+	return ok
+}
+
+// DeriveFileKey computes the File Encryption Key for a file from a
+// passphrase and the file's salt. A wrong passphrase yields a key that the
+// memory controller's VerifyKey will reject.
+func DeriveFileKey(passphrase string, salt [8]byte) aesctr.Key {
+	h := sha256.New()
+	h.Write([]byte("fek:"))
+	h.Write([]byte(passphrase))
+	h.Write(salt[:])
+	var sum [32]byte
+	h.Sum(sum[:0])
+	var key aesctr.Key
+	copy(key[:], sum[:])
+	return key
+}

@@ -1,0 +1,306 @@
+// Package memctrl implements the secure memory controller at the heart of
+// FsEncr (§III). It steers requests by the DF-bit in the physical address:
+// ordinary lines go through counter-mode memory encryption only, while DAX
+// file lines are additionally encrypted with a per-file key resolved through
+// the Open Tunnel Table, using the File Encryption Counter Block's
+// (GroupID, FileID) tag. The final one-time pad for a file line is
+// OTP_mem XOR OTP_file (Figure 7).
+//
+// The controller owns the security metadata (MECB/FECB counter blocks), the
+// dedicated metadata cache, the Bonsai Merkle Tree over the metadata region,
+// the OTT and its encrypted memory region, the Osiris-style crash
+// consistency state, and the PCM device itself.
+package memctrl
+
+import (
+	"fsencr/internal/aesctr"
+	"fsencr/internal/cache"
+	"fsencr/internal/config"
+	"fsencr/internal/counters"
+	"fsencr/internal/merkle"
+	"fsencr/internal/ott"
+	"fsencr/internal/pcm"
+	"fsencr/internal/stats"
+)
+
+// Physical layout of the metadata structures. Data lives below MetaBase;
+// the regions above are reserved for the controller (not addressable by
+// software, which is what protects the OTT region from kernel/user access).
+const (
+	// MetaBase is the start of the counter-block region: page p's MECB at
+	// MetaBase + 128p, its FECB at MetaBase + 128p + 64 ("a file encryption
+	// counter block follows each memory encryption counter block").
+	MetaBase = 1 << 40
+	// MTBase is the start of the Merkle-tree node storage.
+	MTBase = 1 << 41
+	// OTTBase is the start of the encrypted OTT region.
+	OTTBase = 1 << 42
+	// MaxDataBytes bounds the software-visible physical space (16 GB
+	// device, Table III), so page numbers fit the Merkle tree coverage.
+	MaxDataBytes = 16 << 30
+)
+
+// Mode selects which hardware protections are active.
+type Mode struct {
+	// MemEncryption enables counter-mode memory encryption + BMT (the
+	// paper's "Baseline Security").
+	MemEncryption bool
+	// FileEncryption additionally enables the FsEncr file datapath
+	// (FECB + OTT + second OTP).
+	FileEncryption bool
+}
+
+// Controller is the secure memory controller.
+type Controller struct {
+	cfg  config.Config
+	mode Mode
+	st   *stats.Set
+
+	PCM *pcm.Memory
+
+	memEngine *aesctr.Engine
+	engines   map[aesctr.Key]*aesctr.Engine // file-key engine cache
+	// metaCache is the shared metadata cache; when partitioning is on,
+	// metaCaches[0..2] hold the MECB / FECB / tree-node partitions and
+	// metaCache aliases partition 0 for legacy accessors.
+	metaCache  *cache.Cache
+	metaCaches [3]*cache.Cache
+	mt         *merkle.Tree
+
+	mecb map[uint64]*counters.MECB // by physical page number
+	fecb map[uint64]*counters.FECB
+
+	ottTable  *ott.Table
+	ottRegion *ott.Region
+
+	// Osiris crash-consistency state.
+	persistedMECB map[uint64]counters.MECB
+	persistedFECB map[uint64]counters.FECB
+	unpersisted   map[uint64]int     // counter-block addr -> bumps since persist
+	ecc           map[uint64][8]byte // raw line number -> ECC-embedded check tag
+	crashed       bool
+
+	// Pre-crash snapshots, used only by VerifyRecovery in tests.
+	preCrashMECB map[uint64]*counters.MECB
+	preCrashFECB map[uint64]*counters.FECB
+	preCrashRoot merkle.Hash
+
+	// locked disables the file-decryption datapath, as after a failed
+	// admin authentication at boot (§VI): only memory encryption functions.
+	locked bool
+
+	// writeQueue holds the completion times of in-flight writes. Writes
+	// are posted: the core's CLWB/SFENCE completes when the store is
+	// *accepted* into the controller's persistence domain (ADR), not when
+	// the PCM array write finishes. Backpressure appears only when the
+	// queue fills.
+	writeQueue []config.Cycle
+
+	violations uint64
+}
+
+// writeQueueDepth is the number of in-flight writes the controller buffers.
+const writeQueueDepth = 64
+
+// acceptWrite returns the time a write arriving at now is accepted into the
+// persistence domain, waiting for a queue slot if all are in flight.
+func (c *Controller) acceptWrite(now config.Cycle) config.Cycle {
+	// Retire completed writes.
+	live := c.writeQueue[:0]
+	for _, done := range c.writeQueue {
+		if done > now {
+			live = append(live, done)
+		}
+	}
+	c.writeQueue = live
+	if len(c.writeQueue) < writeQueueDepth {
+		return now + 1
+	}
+	// Queue full: wait for the earliest in-flight write to retire.
+	minIdx := 0
+	for i, done := range c.writeQueue {
+		if done < c.writeQueue[minIdx] {
+			minIdx = i
+		}
+	}
+	accepted := c.writeQueue[minIdx]
+	c.writeQueue[minIdx] = c.writeQueue[len(c.writeQueue)-1]
+	c.writeQueue = c.writeQueue[:len(c.writeQueue)-1]
+	c.st.Inc("mc.write_queue_stalls")
+	return accepted + 1
+}
+
+// instanceSeq gives every controller distinct processor keys (fuses differ
+// chip to chip) while keeping runs deterministic: the same creation order
+// yields the same keys.
+var instanceSeq uint64
+
+// New builds a controller in the given mode. All keys (memory key, OTT key)
+// are generated inside the "processor" and never exposed.
+func New(cfg config.Config, mode Mode, st *stats.Set) *Controller {
+	instanceSeq++
+	seq := instanceSeq
+	c := &Controller{
+		cfg:           cfg,
+		mode:          mode,
+		st:            st,
+		PCM:           pcm.New(cfg.PCM, st),
+		engines:       make(map[aesctr.Key]*aesctr.Engine),
+		mecb:          make(map[uint64]*counters.MECB),
+		fecb:          make(map[uint64]*counters.FECB),
+		persistedMECB: make(map[uint64]counters.MECB),
+		persistedFECB: make(map[uint64]counters.FECB),
+		unpersisted:   make(map[uint64]int),
+		ecc:           make(map[uint64][8]byte),
+	}
+	if mode.MemEncryption {
+		c.memEngine = aesctr.New(deriveKey("fsencr-memory-key", seq), cfg.Security.AESLatency)
+		if cfg.Security.PartitionMetadataCache {
+			// Equitable split: half for the tree nodes (they are the
+			// deepest structure), a quarter each for MECB and FECB.
+			quarter := cfg.Security.MetadataCacheSize / 4
+			c.metaCaches[0] = cache.New("metadata.mecb", quarter, cfg.Security.MetadataCacheWays)
+			c.metaCaches[1] = cache.New("metadata.fecb", quarter, cfg.Security.MetadataCacheWays)
+			c.metaCaches[2] = cache.New("metadata.mt", 2*quarter, cfg.Security.MetadataCacheWays)
+			c.metaCache = c.metaCaches[0]
+		} else {
+			c.metaCache = cache.New("metadata", cfg.Security.MetadataCacheSize, cfg.Security.MetadataCacheWays)
+			c.metaCaches = [3]*cache.Cache{c.metaCache, c.metaCache, c.metaCache}
+		}
+		c.mt = merkle.New(cfg.Security.MerkleArity, cfg.Security.MerkleLevels)
+	}
+	if mode.FileEncryption {
+		c.ottTable = ott.NewTable(cfg.Security.OTTBanks, cfg.Security.OTTEntriesPerBank)
+		c.ottRegion = ott.NewRegion(deriveKey("fsencr-ott-key", seq), 1024)
+	}
+	return c
+}
+
+// deriveKey produces a deterministic per-purpose, per-chip key for
+// reproducible simulations (a real controller would use a hardware RNG /
+// fuses).
+func deriveKey(label string, seq uint64) aesctr.Key {
+	var k aesctr.Key
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h ^= seq * 0x9e3779b97f4a7c15
+	for i := range k {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		k[i] = byte(h)
+	}
+	return k
+}
+
+// Mode returns the active protection mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// Stats returns the controller's counter set.
+func (c *Controller) Stats() *stats.Set { return c.st }
+
+// MetadataCache exposes the (first partition of the) metadata cache, for
+// sensitivity studies and tests.
+func (c *Controller) MetadataCache() *cache.Cache { return c.metaCache }
+
+// mcacheFor routes a metadata address to its cache partition: MECBs (even
+// counter slots), FECBs (odd slots), and everything else (Merkle nodes and
+// OTT buckets) to the tree partition. With partitioning off, all three
+// entries alias the shared cache.
+func (c *Controller) mcacheFor(metaAddr uint64) *cache.Cache {
+	if metaAddr >= MetaBase && metaAddr < MTBase {
+		if (metaAddr-MetaBase)/config.LineSize%2 == 0 {
+			return c.metaCaches[0]
+		}
+		return c.metaCaches[1]
+	}
+	return c.metaCaches[2]
+}
+
+// clearMetaCaches wipes every partition (power loss).
+func (c *Controller) clearMetaCaches() {
+	seen := map[*cache.Cache]bool{}
+	for _, mc := range c.metaCaches {
+		if mc != nil && !seen[mc] {
+			mc.Clear()
+			seen[mc] = true
+		}
+	}
+}
+
+// MetaHitRate aggregates hit rates across partitions.
+func (c *Controller) MetaHitRate() float64 {
+	var hits, total uint64
+	seen := map[*cache.Cache]bool{}
+	for _, mc := range c.metaCaches {
+		if mc == nil || seen[mc] {
+			continue
+		}
+		seen[mc] = true
+		hits += mc.Hits
+		total += mc.Hits + mc.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// OTT exposes the on-chip table (for inspection in tests/examples).
+func (c *Controller) OTT() *ott.Table { return c.ottTable }
+
+// OTTRegion exposes the encrypted in-memory OTT region.
+func (c *Controller) OTTRegion() *ott.Region { return c.ottRegion }
+
+// MerkleRoot returns the processor-resident tree root.
+func (c *Controller) MerkleRoot() merkle.Hash {
+	if c.mt == nil {
+		return merkle.Hash{}
+	}
+	return c.mt.Root()
+}
+
+// IntegrityViolations returns how many metadata integrity failures the
+// controller has detected (tampered/replayed metadata).
+func (c *Controller) IntegrityViolations() uint64 { return c.violations }
+
+// Lock disables the FsEncr file-decryption datapath (failed boot-time admin
+// authentication, §VI): requests still decrypt with the memory key only, so
+// an attacker who boots an alien OS sees file bytes still wrapped in the
+// file OTP.
+func (c *Controller) Lock() { c.locked = true }
+
+// Unlock re-enables the file datapath after successful authentication.
+func (c *Controller) Unlock() { c.locked = false }
+
+// Locked reports whether the file datapath is locked.
+func (c *Controller) Locked() bool { return c.locked }
+
+func (c *Controller) engineFor(key aesctr.Key) *aesctr.Engine {
+	e, ok := c.engines[key]
+	if !ok {
+		e = aesctr.New(key, c.cfg.Security.AESLatency)
+		c.engines[key] = e
+	}
+	return e
+}
+
+// Metadata addresses.
+
+func mecbAddr(page uint64) uint64 { return MetaBase + page*2*config.LineSize }
+func fecbAddr(page uint64) uint64 { return MetaBase + (page*2+1)*config.LineSize }
+func mtNodeAddr(n merkle.NodeID) uint64 {
+	return MTBase + uint64(n.Level)<<36 + uint64(n.Index)*config.LineSize
+}
+func ottBucketAddr(bucket int) uint64 { return OTTBase + uint64(bucket)*config.LineSize }
+
+// Merkle leaf numbering: page p's MECB is leaf 2p, FECB leaf 2p+1; OTT
+// region bucket b is leaf ottLeafBase+b.
+const ottLeafBase = 2 * (MaxDataBytes / config.PageSize)
+
+func mecbLeaf(page uint64) int { return int(2 * page) }
+func fecbLeaf(page uint64) int { return int(2*page + 1) }
+func ottLeaf(bucket int) int   { return ottLeafBase + bucket }

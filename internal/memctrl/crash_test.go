@@ -1,0 +1,162 @@
+package memctrl
+
+import (
+	"errors"
+	"testing"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/config"
+	"fsencr/internal/stats"
+)
+
+// writeMany dirties several lines over several pages with multiple versions
+// so unpersisted counter increments exist in the metadata cache at crash
+// time.
+func writeMany(c *Controller, base addr.Phys, pages, versions int) {
+	for v := 0; v < versions; v++ {
+		for p := 0; p < pages; p++ {
+			for li := 0; li < 4; li++ {
+				pa := base + addr.Phys(p*config.PageSize+li*config.LineSize)
+				c.WriteLine(0, pa, lineOf(byte(v*16+p*4+li)))
+			}
+		}
+	}
+}
+
+func TestCrashRecoveryMemoryOnly(t *testing.T) {
+	c := newMC(Mode{MemEncryption: true})
+	writeMany(c, 0x200000, 3, 3)
+	c.Crash(false)
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := c.VerifyRecovery(); err != nil {
+		t.Fatalf("recovery mismatch: %v", err)
+	}
+	// Data must decrypt correctly post-recovery.
+	got, _ := c.ReadLine(0, addr.Phys(0x200000))
+	if got != lineOf(2*16) {
+		t.Fatalf("post-recovery read wrong: %v", got[0])
+	}
+}
+
+func TestCrashRecoveryWithFiles(t *testing.T) {
+	c := newMC(Mode{MemEncryption: true, FileEncryption: true})
+	c.InstallKey(0, 11, 11, fileKey(11))
+	base := addr.Phys(0x300000).WithDF()
+	c.TagPage(0, base, 11, 11)
+	c.TagPage(0, base+config.PageSize, 11, 11)
+	writeMany(c, base, 2, 3)
+	c.Crash(true) // backup power flushes the OTT to the sealed region
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := c.VerifyRecovery(); err != nil {
+		t.Fatalf("recovery mismatch: %v", err)
+	}
+	got, _ := c.ReadLine(0, base)
+	if got != lineOf(2*16) {
+		t.Fatal("file data wrong after recovery")
+	}
+}
+
+func TestCrashWithoutBackupLosesOTTButRegionSurvives(t *testing.T) {
+	cfg := config.Default()
+	cfg.Security.OTTBanks = 1
+	cfg.Security.OTTEntriesPerBank = 2
+	c := New(cfg, Mode{MemEncryption: true, FileEncryption: true}, stats.NewSet())
+	// Three keys: one spills to the region pre-crash.
+	for i := uint16(1); i <= 3; i++ {
+		c.InstallKey(0, 1, i, fileKey(byte(i)))
+	}
+	c.Crash(false)
+	if c.OTT().Len() != 0 {
+		t.Fatal("OTT survived a crash without backup power")
+	}
+	// The spilled key survives in the sealed region.
+	if c.OTTRegion().Len() == 0 {
+		t.Fatal("sealed region lost")
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+}
+
+func TestRecoverWithoutCrashErrors(t *testing.T) {
+	c := newMC(Mode{MemEncryption: true})
+	if err := c.Recover(); err == nil {
+		t.Fatal("Recover without Crash succeeded")
+	}
+}
+
+func TestRecoveryRespectStopLoss(t *testing.T) {
+	// With stop-loss N, at most N unpersisted bumps can exist per block;
+	// recovery searches exactly that window. Write more versions than the
+	// stop-loss bound and verify recovery still succeeds (intermediate
+	// persists must have happened).
+	cfg := config.Default()
+	cfg.Security.StopLoss = 3
+	c := New(cfg, Mode{MemEncryption: true}, stats.NewSet())
+	pa := addr.Phys(0x400000)
+	for v := 0; v < 20; v++ {
+		c.WriteLine(0, pa, lineOf(byte(v)))
+	}
+	if c.Stats().Get("mc.stoploss_persists") == 0 {
+		t.Fatal("stop-loss never persisted")
+	}
+	c.Crash(false)
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	got, _ := c.ReadLine(0, pa)
+	if got != lineOf(19) {
+		t.Fatal("latest version lost")
+	}
+}
+
+func TestRecoveryDetectsNVMTampering(t *testing.T) {
+	c := newMC(Mode{MemEncryption: true})
+	pa := addr.Phys(0x500000)
+	c.WriteLine(0, pa, lineOf(1))
+	c.Crash(false)
+	// Attacker flips ciphertext bits while power is out.
+	raw := c.PCM.ReadLine(pa.Raw())
+	raw[0] ^= 0xFF
+	c.PCM.WriteLine(pa.Raw(), raw)
+	err := c.Recover()
+	if err == nil {
+		t.Fatal("recovery accepted tampered ciphertext")
+	}
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCrashConsistencyAcrossOverflow(t *testing.T) {
+	c := newMC(Mode{MemEncryption: true})
+	pa := addr.Phys(0x600000)
+	for v := 0; v <= config.MinorCounterMax+5; v++ {
+		c.WriteLine(0, pa, lineOf(byte(v)))
+	}
+	c.Crash(false)
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover across overflow: %v", err)
+	}
+	got, _ := c.ReadLine(0, pa)
+	if got != lineOf(byte(config.MinorCounterMax+5)) {
+		t.Fatal("wrong data after overflow + crash")
+	}
+}
+
+func TestShredThenCrashRecovers(t *testing.T) {
+	c := newMC(Mode{MemEncryption: true, FileEncryption: true})
+	pa := addr.Phys(0x700000).WithDF()
+	c.InstallKey(0, 12, 12, fileKey(12))
+	c.TagPage(0, pa, 12, 12)
+	c.WriteLine(0, pa, lineOf(1))
+	c.ShredPage(0, pa)
+	c.Crash(true)
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover after shred: %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+package memctrl
+
+import (
+	"crypto/sha256"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/aesctr"
+	"fsencr/internal/config"
+)
+
+// ReadLine services a last-level-cache miss for the line containing pa,
+// arriving at the controller at time now. It returns the plaintext line and
+// the completion time (Figure 7, read operation).
+func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, config.Cycle) {
+	la := pa.LineAlign()
+	raw := la.Raw()
+	cipher := c.PCM.ReadLine(raw)
+	c.st.Inc("mc.reads")
+
+	if !c.mode.MemEncryption {
+		return cipher, c.PCM.Access(now, raw, false)
+	}
+
+	// Data array access and counter fetch proceed in parallel (CTR mode
+	// hides OTP generation under the array access when counters hit).
+	dataDone := c.PCM.Access(now, raw, false)
+	page := la.PageNum()
+	li := la.LineInPage()
+
+	mecb, ctrReady := c.fetchMECB(now, page)
+	pad := c.memEngine.OTP(memIV(page, li, mecb.Major, mecb.Minor[li]))
+	otpReady := ctrReady + c.memEngine.Latency()
+	xors := 1
+
+	if la.IsDF() && c.fileActive() {
+		fecb, fReady := c.fetchFECB(now, page)
+		key, kReady, ok := c.lookupKey(fReady, fecb.GroupID, fecb.FileID)
+		if ok {
+			filePad := c.engineFor(key).OTP(fileIV(page, li, fecb.Major, fecb.Minor[li]))
+			pad = aesctr.XOR(pad, filePad)
+			fileOTPReady := kReady + c.cfg.Security.AESLatency
+			if fileOTPReady > otpReady {
+				otpReady = fileOTPReady
+			}
+			xors++
+		} else {
+			// No key available (deleted file or locked datapath): the line
+			// decrypts with the memory pad only, yielding unintelligible
+			// bytes — exactly the §VI guarantee.
+			c.st.Inc("mc.key_unavailable")
+		}
+	}
+
+	done := maxCycle(dataDone, otpReady) + config.Cycle(xors)*c.cfg.Security.XORLatency
+	return aesctr.XOR(cipher, pad), done
+}
+
+// WriteLine services a dirty writeback (or flush) of the line containing
+// pa, carrying plaintext plain. It returns the time the write is accepted
+// into the controller's persistence domain — the point an SFENCE may
+// proceed past (ADR semantics). Encryption, counter updates, and the PCM
+// array write continue in the background (Figure 7, write operation),
+// applying backpressure only when the write queue fills.
+func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line) config.Cycle {
+	la := pa.LineAlign()
+	raw := la.Raw()
+	c.st.Inc("mc.writes")
+	accepted := c.acceptWrite(now)
+
+	if !c.mode.MemEncryption {
+		c.PCM.WriteLine(raw, plain)
+		done := c.PCM.Access(accepted, raw, true)
+		c.writeQueue = append(c.writeQueue, done)
+		return accepted
+	}
+
+	page := la.PageNum()
+	li := la.LineInPage()
+
+	mecb, ctrReady := c.fetchMECB(accepted, page)
+	// Minor-counter overflow forces a whole-page re-encryption under the
+	// incremented major counter before this write can proceed.
+	overflowed := mecb.Minor[li] == config.MinorCounterMax
+	if overflowed {
+		ctrReady = c.reencryptPageMem(ctrReady, page, li)
+	} else {
+		mecb.Bump(li)
+	}
+	ctrReady = c.touchDirtyCounter(ctrReady, mecbAddr(page), mecbLeaf(page), encodeMECB(mecb))
+	if overflowed {
+		// Major bumps are persisted eagerly so the Osiris recovery window
+		// never has to search across a counter wrap (§III-H).
+		c.persistCounterNow(ctrReady, mecbAddr(page))
+	}
+	pad := c.memEngine.OTP(memIV(page, li, mecb.Major, mecb.Minor[li]))
+	otpReady := ctrReady + c.memEngine.Latency()
+	xors := 1
+
+	isFile := la.IsDF() && c.fileActive()
+	if isFile {
+		fecb, fReady := c.fetchFECB(accepted, page)
+		fileOverflowed := fecb.Minor[li] == config.MinorCounterMax
+		if fileOverflowed {
+			fReady = c.reencryptPageFile(fReady, page, li)
+		} else {
+			fecb.Bump(li)
+		}
+		fReady = c.touchDirtyCounter(fReady, fecbAddr(page), fecbLeaf(page), encodeFECB(fecb))
+		if fileOverflowed {
+			c.persistCounterNow(fReady, fecbAddr(page))
+		}
+		key, kReady, ok := c.lookupKey(fReady, fecb.GroupID, fecb.FileID)
+		if ok {
+			filePad := c.engineFor(key).OTP(fileIV(page, li, fecb.Major, fecb.Minor[li]))
+			pad = aesctr.XOR(pad, filePad)
+			if r := kReady + c.cfg.Security.AESLatency; r > otpReady {
+				otpReady = r
+			}
+			xors++
+		} else {
+			c.st.Inc("mc.key_unavailable")
+		}
+	}
+
+	cipher := aesctr.XOR(plain, pad)
+	writeStart := otpReady + config.Cycle(xors)*c.cfg.Security.XORLatency
+	done := c.PCM.Access(writeStart, raw, true)
+	c.PCM.WriteLine(raw, cipher)
+	c.writeQueue = append(c.writeQueue, done)
+	// Osiris: the line's ECC bits carry a check tag over the plaintext, so
+	// the counter used for this write is recoverable after a crash.
+	c.ecc[la.LineNum()] = eccTag(plain)
+	return accepted
+}
+
+// fileActive reports whether the file-encryption datapath should engage.
+func (c *Controller) fileActive() bool {
+	return c.mode.FileEncryption && !c.locked
+}
+
+// reencryptPageMem handles a memory-side minor overflow on page: every line
+// is read, stripped of its old memory OTP, and rewritten under the new
+// major counter. Costs 64 reads + 64 writes of the page plus AES work.
+func (c *Controller) reencryptPageMem(now config.Cycle, page uint64, bumpLine int) config.Cycle {
+	c.st.Inc("mc.mem_reencryptions")
+	m := c.mecb[page]
+	old := *m
+	m.Bump(bumpLine) // wraps: major++, minors reset, minor[bumpLine]=1
+	return c.reencryptLines(now, page, func(li int) (aesctr.Line, aesctr.Line) {
+		oldPad := c.memEngine.OTP(memIV(page, li, old.Major, old.Minor[li]))
+		newPad := c.memEngine.OTP(memIV(page, li, m.Major, m.Minor[li]))
+		return oldPad, newPad
+	})
+}
+
+// reencryptPageFile handles a file-side minor overflow, analogous to
+// reencryptPageMem but swapping only the file OTP component.
+func (c *Controller) reencryptPageFile(now config.Cycle, page uint64, bumpLine int) config.Cycle {
+	c.st.Inc("mc.file_reencryptions")
+	f := c.fecb[page]
+	old := *f
+	f.Bump(bumpLine)
+	key, _, ok := c.lookupKey(now, f.GroupID, f.FileID)
+	if !ok {
+		return now
+	}
+	eng := c.engineFor(key)
+	return c.reencryptLines(now, page, func(li int) (aesctr.Line, aesctr.Line) {
+		oldPad := eng.OTP(fileIV(page, li, old.Major, old.Minor[li]))
+		newPad := eng.OTP(fileIV(page, li, f.Major, f.Minor[li]))
+		return oldPad, newPad
+	})
+}
+
+// reencryptLines rewrites every line of page, swapping oldPad for newPad.
+func (c *Controller) reencryptLines(now config.Cycle, page uint64, pads func(li int) (oldPad, newPad aesctr.Line)) config.Cycle {
+	t := now
+	base := addr.Phys(page * config.PageSize)
+	for li := 0; li < config.LinesPerPage; li++ {
+		la := base + addr.Phys(li*config.LineSize)
+		oldPad, newPad := pads(li)
+		cipher := c.PCM.ReadLine(la)
+		t = c.PCM.Access(t, la, false)
+		plainMasked := aesctr.XOR(cipher, oldPad)
+		c.PCM.WriteLine(la, aesctr.XOR(plainMasked, newPad))
+		t = c.PCM.Access(t, la, true)
+	}
+	return t + 2*c.cfg.Security.AESLatency
+}
+
+func memIV(page uint64, li int, major uint64, minor uint8) aesctr.IV {
+	return aesctr.IV{
+		PageID:     page,
+		LineInPage: uint8(li),
+		Major:      major,
+		Minor:      minor,
+		Domain:     aesctr.DomainMemory,
+	}
+}
+
+func fileIV(page uint64, li int, major uint32, minor uint8) aesctr.IV {
+	return aesctr.IV{
+		PageID:     page,
+		LineInPage: uint8(li),
+		Major:      uint64(major),
+		Minor:      minor,
+		Domain:     aesctr.DomainFile,
+	}
+}
+
+// eccTag computes the Osiris check tag stored in a line's ECC bits: a
+// digest of the plaintext. After a crash, a candidate counter is correct
+// exactly when decrypting with it reproduces a plaintext matching the tag.
+func eccTag(plain aesctr.Line) [8]byte {
+	sum := sha256.Sum256(plain[:])
+	var t [8]byte
+	copy(t[:], sum[:8])
+	return t
+}
+
+func maxCycle(a, b config.Cycle) config.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

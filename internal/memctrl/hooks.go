@@ -1,0 +1,74 @@
+package memctrl
+
+// Attack/test hooks. These model an attacker with physical access to the
+// NVM DIMM: reading raw ciphertext, and tampering with metadata behind the
+// controller's back. They exist so the security properties claimed in the
+// paper (Table I, §VI) are demonstrable, not just asserted.
+
+import (
+	"fsencr/internal/addr"
+	"fsencr/internal/aesctr"
+	"fsencr/internal/config"
+)
+
+// RawLine returns the ciphertext bytes an attacker scanning the physical
+// DIMM would see for the line containing pa.
+func (c *Controller) RawLine(pa addr.Phys) aesctr.Line {
+	return c.PCM.ReadLine(pa.LineAlign().Raw())
+}
+
+// DecryptWithMemoryKeyOnly models an attacker (or an alien OS boot) that
+// has compromised the general memory-encryption key but not the file keys:
+// it strips the memory OTP from the stored ciphertext. For non-file lines
+// the result is the plaintext; for DAX-file lines it is still wrapped in
+// the file OTP.
+func (c *Controller) DecryptWithMemoryKeyOnly(pa addr.Phys) aesctr.Line {
+	la := pa.LineAlign()
+	cipher := c.PCM.ReadLine(la.Raw())
+	if !c.mode.MemEncryption {
+		return cipher
+	}
+	page := la.PageNum()
+	li := la.LineInPage()
+	m := c.getMECB(page)
+	return aesctr.XOR(cipher, c.memEngine.OTP(memIV(page, li, m.Major, m.Minor[li])))
+}
+
+// TamperFECB flips a bit in a page's file counter block behind the Merkle
+// tree's back, as a physical attacker rewriting the metadata region would.
+// The next fetch of that block must raise an integrity violation.
+func (c *Controller) TamperFECB(pa addr.Phys) {
+	f := c.getFECB(pa.PageNum())
+	f.Minor[0] ^= 1
+	// Deliberately no mt.Update: that is the attack.
+	c.evictMeta(fecbAddr(pa.PageNum()))
+}
+
+// TamperMECB is TamperFECB for the memory counter block.
+func (c *Controller) TamperMECB(pa addr.Phys) {
+	m := c.getMECB(pa.PageNum())
+	m.Minor[0] ^= 1
+	c.evictMeta(mecbAddr(pa.PageNum()))
+}
+
+// evictMeta drops a metadata line from the metadata cache so the next
+// access re-fetches (and re-verifies) it from memory.
+func (c *Controller) evictMeta(metaAddr uint64) {
+	if c.metaCache != nil {
+		c.mcacheFor(metaAddr).Invalidate(metaAddr)
+	}
+}
+
+// CountersForPage returns copies of the page's current counter blocks (for
+// white-box tests).
+func (c *Controller) CountersForPage(page uint64) (mecbMajor uint64, mecbMinor [config.LinesPerPage]uint8, fecbGroup uint32, fecbFile uint16) {
+	if m, ok := c.mecb[page]; ok {
+		mecbMajor = m.Major
+		mecbMinor = m.Minor
+	}
+	if f, ok := c.fecb[page]; ok {
+		fecbGroup = f.GroupID
+		fecbFile = f.FileID
+	}
+	return
+}

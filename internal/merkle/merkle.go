@@ -1,0 +1,185 @@
+// Package merkle implements the 8-ary Bonsai Merkle Tree that protects the
+// integrity of the security metadata region (MECB, FECB, and the encrypted
+// OTT region). The root never leaves the processor; any tamper or replay of
+// metadata read from memory is detected as a root mismatch (§III-G).
+//
+// The tree hashes real content (SHA-256): tampering with a counter block in
+// the simulated NVM genuinely fails verification. It is stored sparsely:
+// untouched subtrees collapse to precomputed default hashes, so a 9-level
+// 8-ary tree covering 16.7M metadata blocks costs memory only for the
+// blocks a workload actually touches.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Hash is a tree node digest.
+type Hash [32]byte
+
+// Tree is a sparse N-ary Merkle tree with a fixed number of levels.
+// Level 0 holds leaf hashes; level Levels()-1 holds the single root.
+type Tree struct {
+	arity    int
+	levels   int
+	nodes    []map[int]Hash // one sparse map per level
+	defaults []Hash         // default hash of an untouched node per level
+}
+
+// New builds an all-default tree with the given arity and level count
+// (Table III: arity 8, 9 levels -> 8^8 leaves of coverage).
+func New(arity, levels int) *Tree {
+	if arity < 2 || levels < 2 {
+		panic("merkle: need arity >= 2 and levels >= 2")
+	}
+	t := &Tree{arity: arity, levels: levels}
+	t.nodes = make([]map[int]Hash, levels)
+	for i := range t.nodes {
+		t.nodes[i] = make(map[int]Hash)
+	}
+	t.defaults = make([]Hash, levels)
+	var zero [64]byte
+	t.defaults[0] = hashLeaf(zero[:])
+	for lvl := 1; lvl < levels; lvl++ {
+		t.defaults[lvl] = hashChildrenOf(lvl, func(int) Hash { return t.defaults[lvl-1] }, arity)
+	}
+	return t
+}
+
+// Arity returns the tree fan-out.
+func (t *Tree) Arity() int { return t.arity }
+
+// Levels returns the number of levels including leaves and root.
+func (t *Tree) Levels() int { return t.levels }
+
+// NumLeaves returns the leaf coverage of the tree.
+func (t *Tree) NumLeaves() int {
+	n := 1
+	for i := 1; i < t.levels; i++ {
+		n *= t.arity
+	}
+	return n
+}
+
+// Root returns the current root (held inside the processor).
+func (t *Tree) Root() Hash { return t.node(t.levels-1, 0) }
+
+func (t *Tree) node(lvl, idx int) Hash {
+	if h, ok := t.nodes[lvl][idx]; ok {
+		return h
+	}
+	return t.defaults[lvl]
+}
+
+func hashLeaf(content []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00}) // leaf domain separator
+	h.Write(content)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func hashChildrenOf(lvl int, child func(i int) Hash, arity int) Hash {
+	h := sha256.New()
+	var pre [5]byte
+	pre[0] = 0x01 // internal domain separator
+	binary.LittleEndian.PutUint32(pre[1:], uint32(lvl))
+	h.Write(pre[:])
+	for i := 0; i < arity; i++ {
+		c := child(i)
+		h.Write(c[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func (t *Tree) hashChildren(lvl, idx int) Hash {
+	lo := idx * t.arity
+	return hashChildrenOf(lvl, func(i int) Hash { return t.node(lvl-1, lo+i) }, t.arity)
+}
+
+func (t *Tree) checkLeaf(idx int) {
+	if idx < 0 || idx >= t.NumLeaves() {
+		panic(fmt.Sprintf("merkle: leaf %d out of range [0,%d)", idx, t.NumLeaves()))
+	}
+}
+
+// Update re-hashes leaf idx with the new content and propagates to the root.
+func (t *Tree) Update(idx int, content []byte) {
+	t.checkLeaf(idx)
+	t.nodes[0][idx] = hashLeaf(content)
+	for lvl := 1; lvl < t.levels; lvl++ {
+		idx /= t.arity
+		t.nodes[lvl][idx] = t.hashChildren(lvl, idx)
+	}
+}
+
+// Verify checks that content matches the recorded leaf hash for idx and
+// that the recorded path is consistent up to the root. It returns false on
+// any mismatch (tampered or replayed metadata).
+func (t *Tree) Verify(idx int, content []byte) bool {
+	if idx < 0 || idx >= t.NumLeaves() {
+		return false
+	}
+	if hashLeaf(content) != t.node(0, idx) {
+		return false
+	}
+	for lvl := 1; lvl < t.levels; lvl++ {
+		idx /= t.arity
+		if t.hashChildren(lvl, idx) != t.node(lvl, idx) {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeID identifies one internal tree node.
+type NodeID struct {
+	Level int
+	Index int
+}
+
+// PathNodes returns, for leaf idx, the internal node coordinates visited
+// from the leaf's parent up to (but excluding) the root. The memory
+// controller uses these to model metadata-cache traffic for tree walks: a
+// walk stops at the first node found in the metadata cache (a cached node
+// is trusted), and the root never leaves the chip.
+func (t *Tree) PathNodes(idx int) []NodeID {
+	path := make([]NodeID, 0, t.levels-2)
+	for lvl := 1; lvl < t.levels-1; lvl++ {
+		idx /= t.arity
+		path = append(path, NodeID{Level: lvl, Index: idx})
+	}
+	return path
+}
+
+// Rebuild reconstructs the whole tree from a set of non-default leaf
+// contents (crash recovery: counters are recovered first, then the tree is
+// regenerated and checked against the processor-resident root, §II-D).
+func (t *Tree) Rebuild(leaves map[int][]byte) {
+	for i := range t.nodes {
+		t.nodes[i] = make(map[int]Hash)
+	}
+	for idx, content := range leaves {
+		t.checkLeaf(idx)
+		t.nodes[0][idx] = hashLeaf(content)
+	}
+	// Propagate upward, level by level, touching only parents of touched
+	// nodes.
+	touched := make(map[int]struct{}, len(leaves))
+	for idx := range leaves {
+		touched[idx/t.arity] = struct{}{}
+	}
+	for lvl := 1; lvl < t.levels; lvl++ {
+		next := make(map[int]struct{}, len(touched))
+		for idx := range touched {
+			t.nodes[lvl][idx] = t.hashChildren(lvl, idx)
+			next[idx/t.arity] = struct{}{}
+		}
+		touched = next
+	}
+}

@@ -1,0 +1,167 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func content(b byte) []byte {
+	c := make([]byte, 64)
+	for i := range c {
+		c[i] = b
+	}
+	return c
+}
+
+func TestVerifyAfterUpdate(t *testing.T) {
+	tr := New(8, 4)
+	tr.Update(10, content(1))
+	if !tr.Verify(10, content(1)) {
+		t.Fatal("fresh update does not verify")
+	}
+	if tr.Verify(10, content(2)) {
+		t.Fatal("wrong content verified")
+	}
+}
+
+func TestDefaultLeavesVerifyZero(t *testing.T) {
+	tr := New(8, 4)
+	if !tr.Verify(100, make([]byte, 64)) {
+		t.Fatal("untouched leaf does not verify zero content")
+	}
+}
+
+func TestRootChangesOnUpdate(t *testing.T) {
+	tr := New(8, 4)
+	r0 := tr.Root()
+	tr.Update(0, content(1))
+	r1 := tr.Root()
+	if r0 == r1 {
+		t.Fatal("root unchanged after update")
+	}
+	tr.Update(511, content(2))
+	if tr.Root() == r1 {
+		t.Fatal("root unchanged after second update")
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	tr := New(8, 4)
+	tr.Update(7, content(3))
+	// Attacker replays leaf 7's content at leaf 8.
+	if tr.Verify(8, content(3)) {
+		t.Fatal("replayed content verified at wrong leaf")
+	}
+}
+
+func TestUpdateIsolation(t *testing.T) {
+	tr := New(8, 4)
+	tr.Update(1, content(1))
+	tr.Update(2, content(2))
+	if !tr.Verify(1, content(1)) || !tr.Verify(2, content(2)) {
+		t.Fatal("sibling update corrupted earlier leaf")
+	}
+}
+
+func TestNumLeaves(t *testing.T) {
+	tr := New(8, 9)
+	if tr.NumLeaves() != 8*8*8*8*8*8*8*8 {
+		t.Fatalf("NumLeaves = %d", tr.NumLeaves())
+	}
+	if tr.Levels() != 9 || tr.Arity() != 8 {
+		t.Fatal("geometry accessors wrong")
+	}
+}
+
+func TestPathNodes(t *testing.T) {
+	tr := New(8, 9)
+	path := tr.PathNodes(12345)
+	if len(path) != 7 { // levels 1..7 (root excluded)
+		t.Fatalf("path length = %d", len(path))
+	}
+	if path[0].Index != 12345/8 {
+		t.Fatalf("first parent = %d", path[0].Index)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].Level != path[i-1].Level+1 {
+			t.Fatal("path levels not ascending")
+		}
+		if path[i].Index != path[i-1].Index/8 {
+			t.Fatal("path indices not contracting by arity")
+		}
+	}
+}
+
+func TestRebuildMatchesIncremental(t *testing.T) {
+	incr := New(8, 4)
+	leaves := map[int][]byte{
+		0:   content(1),
+		63:  content(2),
+		64:  content(3),
+		511: content(4),
+	}
+	for idx, c := range leaves {
+		incr.Update(idx, c)
+	}
+	rebuilt := New(8, 4)
+	rebuilt.Rebuild(leaves)
+	if incr.Root() != rebuilt.Root() {
+		t.Fatal("rebuild root differs from incremental root")
+	}
+}
+
+func TestRebuildDropsStaleState(t *testing.T) {
+	tr := New(8, 4)
+	tr.Update(5, content(9))
+	tr.Rebuild(map[int][]byte{})
+	empty := New(8, 4)
+	if tr.Root() != empty.Root() {
+		t.Fatal("rebuild with no leaves != fresh tree")
+	}
+}
+
+func TestVerifyOutOfRange(t *testing.T) {
+	tr := New(8, 3)
+	if tr.Verify(-1, content(0)) || tr.Verify(tr.NumLeaves(), content(0)) {
+		t.Fatal("out-of-range leaf verified")
+	}
+}
+
+func TestUpdateOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range update did not panic")
+		}
+	}()
+	New(8, 3).Update(10000, content(0))
+}
+
+func TestPropertyRandomUpdatesVerify(t *testing.T) {
+	tr := New(8, 4)
+	written := make(map[int]byte)
+	f := func(idx uint16, val byte) bool {
+		i := int(idx) % tr.NumLeaves()
+		tr.Update(i, content(val))
+		written[i] = val
+		for j, v := range written {
+			if !tr.Verify(j, content(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	tr := New(2, 5) // 16 leaves
+	if tr.NumLeaves() != 16 {
+		t.Fatalf("NumLeaves = %d", tr.NumLeaves())
+	}
+	tr.Update(15, content(1))
+	if !tr.Verify(15, content(1)) {
+		t.Fatal("binary tree verify failed")
+	}
+}

@@ -1,0 +1,210 @@
+package ott
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fsencr/internal/aesctr"
+)
+
+func key(b byte) aesctr.Key {
+	var k aesctr.Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	tb := NewTable(2, 4)
+	tb.Insert(Entry{Group: 1, File: 2, Key: key(3)})
+	k, ok := tb.Lookup(1, 2)
+	if !ok || k != key(3) {
+		t.Fatal("lookup after insert failed")
+	}
+	if _, ok := tb.Lookup(1, 3); ok {
+		t.Fatal("phantom entry")
+	}
+	if tb.Hits != 1 || tb.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestTableRefresh(t *testing.T) {
+	tb := NewTable(1, 4)
+	tb.Insert(Entry{Group: 1, File: 1, Key: key(1)})
+	if _, ev := tb.Insert(Entry{Group: 1, File: 1, Key: key(9)}); ev {
+		t.Fatal("refresh evicted")
+	}
+	k, _ := tb.Lookup(1, 1)
+	if k != key(9) {
+		t.Fatal("refresh did not update key")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
+
+func TestTableLRUEviction(t *testing.T) {
+	tb := NewTable(1, 3)
+	for i := uint16(0); i < 3; i++ {
+		tb.Insert(Entry{Group: 1, File: i, Key: key(byte(i))})
+	}
+	tb.Lookup(1, 0) // refresh 0; LRU is 1
+	evicted, has := tb.Insert(Entry{Group: 1, File: 99, Key: key(99)})
+	if !has || evicted.File != 1 {
+		t.Fatalf("evicted %+v (has=%v), want file 1", evicted, has)
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	tb := NewTable(1, 4)
+	tb.Insert(Entry{Group: 1, File: 1, Key: key(1)})
+	if !tb.Remove(1, 1) {
+		t.Fatal("remove failed")
+	}
+	if tb.Remove(1, 1) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := tb.Lookup(1, 1); ok {
+		t.Fatal("entry survived removal")
+	}
+}
+
+func TestTableEntriesAndClear(t *testing.T) {
+	tb := NewTable(2, 2)
+	tb.Insert(Entry{Group: 1, File: 1, Key: key(1)})
+	tb.Insert(Entry{Group: 2, File: 2, Key: key(2)})
+	if len(tb.Entries()) != 2 {
+		t.Fatalf("entries = %d", len(tb.Entries()))
+	}
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Fatal("clear left entries")
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	tb := NewTable(8, 128)
+	if tb.Capacity() != 1024 {
+		t.Fatalf("capacity = %d", tb.Capacity())
+	}
+}
+
+func TestRegionSealUnsealRoundtrip(t *testing.T) {
+	r := NewRegion(key(7), 64)
+	e := Entry{Group: 123456, File: 9876, Key: key(42)}
+	r.Store(e)
+	got, _, found := r.Lookup(e.Group, e.File)
+	if !found || got != e {
+		t.Fatalf("lookup got %+v found=%v", got, found)
+	}
+}
+
+func TestRegionWrongKeyFails(t *testing.T) {
+	r1 := NewRegion(key(1), 64)
+	e := Entry{Group: 5, File: 6, Key: key(9)}
+	b := r1.Bucket(e.Group, e.File)
+	sealed := r1.seal(e, b)
+	r2 := NewRegion(key(2), 64)
+	if _, err := r2.open(sealed, b); err == nil {
+		t.Fatal("foreign OTT key unsealed a record")
+	}
+}
+
+func TestRegionBucketBinding(t *testing.T) {
+	r := NewRegion(key(1), 64)
+	e := Entry{Group: 5, File: 6, Key: key(9)}
+	b := r.Bucket(e.Group, e.File)
+	sealed := r.seal(e, b)
+	if _, err := r.open(sealed, (b+1)%64); err == nil {
+		t.Fatal("record replayed into a different bucket unsealed")
+	}
+}
+
+func TestRegionTamperDetected(t *testing.T) {
+	r := NewRegion(key(1), 64)
+	e := Entry{Group: 5, File: 6, Key: key(9)}
+	b := r.Bucket(e.Group, e.File)
+	sealed := r.seal(e, b)
+	sealed[20] ^= 1
+	got, err := r.open(sealed, b)
+	if err == nil && got == e {
+		t.Fatal("tampered record unsealed to original entry")
+	}
+}
+
+func TestRegionUpdateInPlace(t *testing.T) {
+	r := NewRegion(key(1), 64)
+	r.Store(Entry{Group: 1, File: 1, Key: key(1)})
+	r.Store(Entry{Group: 1, File: 1, Key: key(2)})
+	if r.Len() != 1 {
+		t.Fatalf("duplicate records: %d", r.Len())
+	}
+	got, _, _ := r.Lookup(1, 1)
+	if got.Key != key(2) {
+		t.Fatal("update did not replace key")
+	}
+}
+
+func TestRegionRemove(t *testing.T) {
+	r := NewRegion(key(1), 64)
+	r.Store(Entry{Group: 1, File: 1, Key: key(1)})
+	if _, removed := r.Remove(1, 1); !removed {
+		t.Fatal("remove failed")
+	}
+	if _, _, found := r.Lookup(1, 1); found {
+		t.Fatal("entry survived removal")
+	}
+	if _, removed := r.Remove(1, 1); removed {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestRegionCiphertextHidesKey(t *testing.T) {
+	r := NewRegion(key(1), 64)
+	e := Entry{Group: 1, File: 1, Key: key(0xAA)}
+	r.Store(e)
+	for _, s := range r.SealedRecords() {
+		run := 0
+		for _, b := range s {
+			if b == 0xAA {
+				run++
+			} else {
+				run = 0
+			}
+			if run >= 4 {
+				t.Fatal("file key visible in sealed record")
+			}
+		}
+	}
+}
+
+func TestRegionPropertyRoundtrip(t *testing.T) {
+	r := NewRegion(key(3), 128)
+	f := func(group uint32, file uint16, kb byte) bool {
+		e := Entry{Group: group & (1<<18 - 1), File: file & (1<<14 - 1), Key: key(kb)}
+		r.Store(e)
+		got, _, found := r.Lookup(e.Group, e.File)
+		return found && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionFlowTableToRegion(t *testing.T) {
+	tb := NewTable(1, 2)
+	r := NewRegion(key(1), 64)
+	tb.Insert(Entry{Group: 1, File: 1, Key: key(1)})
+	tb.Insert(Entry{Group: 1, File: 2, Key: key(2)})
+	evicted, has := tb.Insert(Entry{Group: 1, File: 3, Key: key(3)})
+	if !has {
+		t.Fatal("no eviction from full table")
+	}
+	r.Store(evicted)
+	got, _, found := r.Lookup(evicted.Group, evicted.File)
+	if !found || got.Key != evicted.Key {
+		t.Fatal("evicted key lost")
+	}
+}

@@ -1,0 +1,107 @@
+// Package pagecache models the OS page cache used by the conventional
+// (non-DAX) file access path of Figure 1(a): file pages are copied into
+// memory-resident frames on fault, accessed there, and written back on
+// eviction or msync. DAX exists precisely to bypass this structure; the
+// software-encryption baseline cannot bypass it, which is where its
+// overhead comes from.
+package pagecache
+
+import "fsencr/internal/addr"
+
+// Key identifies one cached file page.
+type Key struct {
+	Ino     uint16
+	PageIdx uint64
+}
+
+// Page is one page-cache entry.
+type Page struct {
+	Key   Key
+	Frame addr.Phys // physical frame holding the copy
+	Dirty bool
+	// PersistCount counts msync requests since the last device writeback;
+	// the kernel's flusher throttles writebacks against it.
+	PersistCount int
+
+	lastUse uint64
+}
+
+// Cache is an LRU page cache with a fixed page capacity.
+type Cache struct {
+	capacity int
+	pages    map[Key]*Page
+	clock    uint64
+
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New returns a page cache holding at most capacity pages.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic("pagecache: non-positive capacity")
+	}
+	return &Cache{capacity: capacity, pages: make(map[Key]*Page)}
+}
+
+// Capacity returns the page capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Get returns the cached page for k, refreshing its LRU position.
+func (c *Cache) Get(k Key) (*Page, bool) {
+	p, ok := c.pages[k]
+	if ok {
+		c.clock++
+		p.lastUse = c.clock
+		c.Hits++
+		return p, true
+	}
+	c.Misses++
+	return nil, false
+}
+
+// Insert adds a page. If the cache is full, the least recently used page is
+// removed and returned so the kernel can write it back if dirty.
+func (c *Cache) Insert(p *Page) (evicted *Page) {
+	c.clock++
+	p.lastUse = c.clock
+	if len(c.pages) >= c.capacity {
+		var victim *Page
+		for _, cand := range c.pages {
+			if victim == nil || cand.lastUse < victim.lastUse {
+				victim = cand
+			}
+		}
+		if victim != nil {
+			delete(c.pages, victim.Key)
+			c.Evictions++
+			evicted = victim
+		}
+	}
+	c.pages[p.Key] = p
+	return evicted
+}
+
+// Remove drops the page for k (file deletion/truncation), returning it.
+func (c *Cache) Remove(k Key) (*Page, bool) {
+	p, ok := c.pages[k]
+	if ok {
+		delete(c.pages, k)
+	}
+	return p, ok
+}
+
+// DirtyPages returns all dirty pages (for sync/writeback-all).
+func (c *Cache) DirtyPages() []*Page {
+	var out []*Page
+	for _, p := range c.pages {
+		if p.Dirty {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package pagecache
+
+import "testing"
+
+func TestGetInsert(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(Key{1, 0}); ok {
+		t.Fatal("hit on empty cache")
+	}
+	p := &Page{Key: Key{1, 0}, Frame: 0x1000}
+	if ev := c.Insert(p); ev != nil {
+		t.Fatal("eviction from empty cache")
+	}
+	got, ok := c.Get(Key{1, 0})
+	if !ok || got != p {
+		t.Fatal("get after insert failed")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	p1 := &Page{Key: Key{1, 1}}
+	p2 := &Page{Key: Key{1, 2}}
+	c.Insert(p1)
+	c.Insert(p2)
+	c.Get(Key{1, 1}) // refresh p1
+	ev := c.Insert(&Page{Key: Key{1, 3}})
+	if ev != p2 {
+		t.Fatalf("evicted %+v, want p2", ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(2)
+	p := &Page{Key: Key{2, 0}}
+	c.Insert(p)
+	got, ok := c.Remove(Key{2, 0})
+	if !ok || got != p {
+		t.Fatal("remove failed")
+	}
+	if _, ok := c.Remove(Key{2, 0}); ok {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestDirtyPages(t *testing.T) {
+	c := New(4)
+	c.Insert(&Page{Key: Key{1, 0}, Dirty: true})
+	c.Insert(&Page{Key: Key{1, 1}})
+	c.Insert(&Page{Key: Key{1, 2}, Dirty: true})
+	if len(c.DirtyPages()) != 2 {
+		t.Fatalf("dirty = %d", len(c.DirtyPages()))
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	New(0)
+}

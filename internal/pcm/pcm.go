@@ -1,0 +1,153 @@
+// Package pcm models the DDR-based PCM main memory of Table III: two
+// channels of two ranks of eight banks, 1 KB row buffers with an
+// open-adaptive page policy, RoRaBaChCo address mapping, and asymmetric
+// 60 ns read / 150 ns write array latencies.
+//
+// The model is functional *and* timed: it owns the actual backing bytes of
+// the simulated NVM (ciphertext lands here), and it schedules accesses on
+// banks using a busy-until model that captures row-buffer locality and bank
+// conflicts without a full DRAM command state machine.
+package pcm
+
+import (
+	"fsencr/internal/addr"
+	"fsencr/internal/aesctr"
+	"fsencr/internal/config"
+	"fsencr/internal/stats"
+)
+
+type bank struct {
+	readyAt  config.Cycle
+	openRow  uint64
+	rowValid bool
+	// conflictStreak drives the open-adaptive policy: after repeated row
+	// misses the bank closes its row eagerly (precharge after access),
+	// converting future conflicts into plain misses instead of
+	// miss+precharge.
+	conflictStreak int
+	adaptiveClosed bool
+}
+
+// Memory is the PCM device: sparse backing store plus bank timing state.
+type Memory struct {
+	cfg     config.PCM
+	mapping *addr.Mapping
+	banks   []bank
+	frames  map[uint64]*[config.PageSize]byte
+	st      *stats.Set
+}
+
+// New builds a PCM device from the configuration, reporting traffic into st.
+func New(cfg config.PCM, st *stats.Set) *Memory {
+	m := &Memory{
+		cfg:     cfg,
+		mapping: addr.NewMapping(cfg),
+		frames:  make(map[uint64]*[config.PageSize]byte),
+		st:      st,
+	}
+	m.banks = make([]bank, m.mapping.TotalBanks())
+	return m
+}
+
+// frame returns the backing page for pa, allocating it zeroed on first use.
+func (m *Memory) frame(pa addr.Phys) *[config.PageSize]byte {
+	pn := pa.PageNum()
+	f, ok := m.frames[pn]
+	if !ok {
+		f = new([config.PageSize]byte)
+		m.frames[pn] = f
+	}
+	return f
+}
+
+// ReadLine returns the 64 bytes stored at the line containing pa.
+// Functional only; use Access for timing.
+func (m *Memory) ReadLine(pa addr.Phys) aesctr.Line {
+	f := m.frame(pa)
+	off := pa.PageOffset() &^ (config.LineSize - 1)
+	var line aesctr.Line
+	copy(line[:], f[off:off+config.LineSize])
+	return line
+}
+
+// WriteLine stores 64 bytes at the line containing pa. Functional only.
+func (m *Memory) WriteLine(pa addr.Phys, line aesctr.Line) {
+	f := m.frame(pa)
+	off := pa.PageOffset() &^ (config.LineSize - 1)
+	copy(f[off:off+config.LineSize], line[:])
+}
+
+// Access schedules a line read or write arriving at time now and returns
+// its completion time. Bank state (row buffer, busy-until) is updated.
+func (m *Memory) Access(now config.Cycle, pa addr.Phys, write bool) config.Cycle {
+	d := m.mapping.Decompose(pa)
+	b := &m.banks[m.mapping.BankID(d)]
+
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+		m.st.Inc("pcm.bank_conflicts")
+	}
+
+	var service config.Cycle
+	rowHit := b.rowValid && b.openRow == d.Row
+	switch {
+	case rowHit:
+		service = m.cfg.RowBufferHitLatency
+		m.st.Inc("pcm.row_hits")
+		b.conflictStreak = 0
+	default:
+		// Row miss: activate (tRCD + array read to fill the row buffer),
+		// then column access.
+		array := m.cfg.ReadLatency
+		service = m.cfg.TRCD + array + m.cfg.TCL + m.cfg.TBURST
+		m.st.Inc("pcm.row_misses")
+		if b.rowValid {
+			b.conflictStreak++
+		}
+	}
+	if write {
+		// PCM writes pay the long cell-write latency on the way to the
+		// array; write recovery keeps the bank busy afterwards.
+		service += m.cfg.WriteLatency
+		m.st.Inc("pcm.writes")
+	} else {
+		m.st.Inc("pcm.reads")
+	}
+
+	done := start + service
+	busyUntil := done
+	if write {
+		busyUntil += m.cfg.TWR - m.cfg.WriteLatency // recovery overlaps cell write
+	}
+
+	// Open-adaptive policy: keep the row open by default; after two
+	// consecutive conflicts on this bank, close the row eagerly.
+	b.openRow = d.Row
+	b.rowValid = true
+	if b.conflictStreak >= 2 {
+		b.rowValid = false
+		b.conflictStreak = 0
+		m.st.Inc("pcm.adaptive_closes")
+	}
+	b.readyAt = busyUntil
+	return done
+}
+
+// Reads returns the number of line reads serviced.
+func (m *Memory) Reads() uint64 { return m.st.Get("pcm.reads") }
+
+// Writes returns the number of line writes serviced.
+func (m *Memory) Writes() uint64 { return m.st.Get("pcm.writes") }
+
+// FramesTouched returns how many distinct 4 KB frames have backing storage.
+func (m *Memory) FramesTouched() int { return len(m.frames) }
+
+// ResetTiming clears bank state (used at measurement-phase boundaries so
+// warm-up traffic does not leak stale busy-until times into the measured
+// region; contents are preserved).
+func (m *Memory) ResetTiming() {
+	for i := range m.banks {
+		m.banks[i] = bank{}
+	}
+}

@@ -1,0 +1,132 @@
+// Package report renders simple ASCII visualizations of experiment results
+// — horizontal bar charts for the figure-regeneration commands, so the
+// paper's bar-graph figures have a directly comparable visual form in
+// terminal output.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value in a chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart. Values are scaled so the largest
+// bar spans width characters. A baseline of 1.0 (for normalized figures) is
+// marked when it falls inside the plotted range.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int
+	Bars  []Bar
+	// Baseline, if nonzero, draws a reference mark at that value.
+	Baseline float64
+}
+
+// NewBarChart returns a chart with a default width of 40 columns.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 40}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.Bars) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, bar := range c.Bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	if c.Baseline > maxVal {
+		maxVal = c.Baseline
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	scale := float64(c.Width) / maxVal
+	basePos := -1
+	if c.Baseline > 0 {
+		basePos = int(math.Round(c.Baseline * scale))
+	}
+	for _, bar := range c.Bars {
+		n := int(math.Round(bar.Value * scale))
+		if n < 0 {
+			n = 0
+		}
+		if n > c.Width {
+			n = c.Width
+		}
+		row := []byte(strings.Repeat("█", n) + strings.Repeat(" ", c.Width-n))
+		line := string(row)
+		if basePos >= 0 && basePos < c.Width {
+			// Overlay the baseline marker.
+			runes := []rune(line)
+			if runes[basePos] == ' ' {
+				runes[basePos] = '┊'
+			}
+			line = string(runes)
+		}
+		fmt.Fprintf(&b, "  %-*s │%s│ %.3f%s\n", maxLabel, bar.Label, line, bar.Value, c.Unit)
+	}
+	return b.String()
+}
+
+// Series renders a compact sparkline-style row for a metric across swept
+// parameter values (used for the cache-sensitivity figure).
+func Series(label string, xs []string, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", label)
+	for i := range xs {
+		fmt.Fprintf(&b, "  %s=%.2f", xs[i], ys[i])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Spark returns a unicode sparkline of ys.
+func Spark(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if span > 0 {
+			idx = int((y - lo) / span * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "container/heap"
+
+// EventQueue is a deterministic discrete-event priority queue: events fire
+// in (time, insertion order) order, so simultaneous events retain FIFO
+// semantics and simulations replay identically.
+type EventQueue struct {
+	h eventHeap
+	// seq breaks ties between events scheduled for the same instant.
+	seq uint64
+}
+
+type event struct {
+	at   uint64
+	seq  uint64
+	call func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Schedule enqueues fn to fire at the given time.
+func (q *EventQueue) Schedule(at uint64, fn func()) {
+	q.seq++
+	heap.Push(&q.h, event{at: at, seq: q.seq, call: fn})
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return q.h.Len() }
+
+// NextTime returns the firing time of the earliest pending event.
+// It panics if the queue is empty.
+func (q *EventQueue) NextTime() uint64 { return q.h[0].at }
+
+// Step fires the earliest event and returns its time. It panics if empty.
+func (q *EventQueue) Step() uint64 {
+	e := heap.Pop(&q.h).(event)
+	e.call()
+	return e.at
+}
+
+// RunUntil fires every event scheduled at or before deadline, in order,
+// including events they themselves schedule within the window. Returns how
+// many events fired.
+func (q *EventQueue) RunUntil(deadline uint64) int {
+	n := 0
+	for q.Len() > 0 && q.NextTime() <= deadline {
+		q.Step()
+		n++
+	}
+	return n
+}
+
+// Drain fires every pending event in order and returns the count.
+func (q *EventQueue) Drain() int {
+	n := 0
+	for q.Len() > 0 {
+		q.Step()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	var q EventQueue
+	var order []int
+	q.Schedule(30, func() { order = append(order, 3) })
+	q.Schedule(10, func() { order = append(order, 1) })
+	q.Schedule(20, func() { order = append(order, 2) })
+	if n := q.Drain(); n != 3 {
+		t.Fatalf("drained %d", n)
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEventFIFOWithinInstant(t *testing.T) {
+	var q EventQueue
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(7, func() { order = append(order, i) })
+	}
+	q.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	for _, at := range []uint64{5, 10, 15, 20} {
+		q.Schedule(at, func() { fired++ })
+	}
+	if n := q.RunUntil(12); n != 2 || fired != 2 {
+		t.Fatalf("RunUntil fired %d/%d", n, fired)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("pending = %d", q.Len())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	var q EventQueue
+	var times []uint64
+	var spawn func(at uint64)
+	spawn = func(at uint64) {
+		q.Schedule(at, func() {
+			times = append(times, at)
+			if at < 50 {
+				spawn(at + 10)
+			}
+		})
+	}
+	spawn(10)
+	q.RunUntil(100)
+	want := []uint64{10, 20, 30, 40, 50}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("cascade broken: %v", times)
+		}
+	}
+}
+
+func TestStepAndNextTime(t *testing.T) {
+	var q EventQueue
+	q.Schedule(42, func() {})
+	if q.NextTime() != 42 {
+		t.Fatal("NextTime wrong")
+	}
+	if q.Step() != 42 {
+		t.Fatal("Step time wrong")
+	}
+	if q.Len() != 0 {
+		t.Fatal("not empty after step")
+	}
+}

@@ -1,0 +1,104 @@
+// Package sim provides deterministic simulation substrate shared by the
+// machine model and the workload generators: a seeded random number
+// generator with the distributions the benchmarks need, and a simulated
+// clock type.
+//
+// Determinism matters here: every experiment in the paper reproduction must
+// produce identical access streams across runs so that scheme-vs-scheme
+// comparisons measure the architecture, not generator noise. The generator
+// is a splitmix64-seeded xoshiro256**, entirely self-contained.
+package sim
+
+import "math/bits"
+
+// RNG is a deterministic pseudo-random generator (xoshiro256**).
+// The zero value is not valid; use NewRNG.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, so that any
+// seed (including 0) produces a well-mixed state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Bytes fills b with random bytes.
+func (r *RNG) Bytes(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		for k := 0; k < 8; k++ {
+			b[i+k] = byte(v >> (8 * k))
+		}
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}

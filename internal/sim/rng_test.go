@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	v1, v2 := r.Uint64(), r.Uint64()
+	if v1 == 0 && v2 == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Uint64n(0)
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(8)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Intn(8) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 returned %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(64)
+		seen := make([]bool, 64)
+		for _, v := range p {
+			if v < 0 || v >= 64 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesFillsExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		r := NewRNG(3)
+		b := make([]byte, n+8)
+		r.Bytes(b[:n])
+		for i := n; i < len(b); i++ {
+			if b[i] != 0 {
+				t.Fatalf("Bytes wrote past requested length at %d", i)
+			}
+		}
+	}
+}
+
+func TestBytesNotConstant(t *testing.T) {
+	r := NewRNG(5)
+	b := make([]byte, 256)
+	r.Bytes(b)
+	zero := 0
+	for _, v := range b {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 32 {
+		t.Fatalf("suspiciously many zero bytes: %d/256", zero)
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	r := NewRNG(11)
+	const buckets = 16
+	counts := make([]int, buckets)
+	const draws = 160000
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d far from expected %d", i, c, want)
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRNG(13)
+	z := NewZipf(r, 1.1, 1, 1000)
+	counts := make(map[uint64]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := z.Uint64()
+		if v >= 1000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Key 0 must be far more popular than key 500.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	z1 := NewZipf(NewRNG(17), 1.1, 1, 4096)
+	z2 := NewZipf(NewRNG(17), 1.1, 1, 4096)
+	for i := 0; i < 1000; i++ {
+		if z1.Uint64() != z2.Uint64() {
+			t.Fatalf("zipf diverged at draw %d", i)
+		}
+	}
+}
+
+func TestZipfInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf with s<=1 did not panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 1.0, 1, 10)
+}

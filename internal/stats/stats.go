@@ -1,0 +1,135 @@
+// Package stats provides the counter registry used across the simulator and
+// the table/series formatting used by the benchmark harness to print the
+// paper's figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a named collection of integer counters. It is not safe for
+// concurrent use; the simulated machine is single-goroutine by design.
+type Set struct {
+	counters map[string]uint64
+	order    []string
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]uint64)}
+}
+
+// Add increments counter name by delta, creating it if needed.
+func (s *Set) Add(name string, delta uint64) {
+	if _, ok := s.counters[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the value of counter name (zero if never touched).
+func (s *Set) Get(name string) uint64 { return s.counters[name] }
+
+// Set assigns counter name to v.
+func (s *Set) Set(name string, v uint64) {
+	if _, ok := s.counters[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.counters[name] = v
+}
+
+// Names returns the counter names in first-touch order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Set) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter but keeps the registry.
+func (s *Set) Reset() {
+	for k := range s.counters {
+		s.counters[k] = 0
+	}
+}
+
+// String renders the set sorted by name, one counter per line.
+func (s *Set) String() string {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	bounds []uint64 // ascending upper bounds; last bucket is overflow
+	counts []uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds; values above the last bound land in an overflow bucket.
+func NewHistogram(bounds ...uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean of observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Buckets returns (upper bound, count) pairs, with ^uint64(0) as the
+// overflow bucket's bound.
+func (h *Histogram) Buckets() ([]uint64, []uint64) {
+	b := append([]uint64(nil), h.bounds...)
+	b = append(b, ^uint64(0))
+	c := append([]uint64(nil), h.counts...)
+	return b, c
+}

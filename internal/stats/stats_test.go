@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSetAddIncGet(t *testing.T) {
+	s := NewSet()
+	if got := s.Get("missing"); got != 0 {
+		t.Fatalf("untouched counter = %d", got)
+	}
+	s.Inc("a")
+	s.Add("a", 4)
+	s.Set("b", 7)
+	if s.Get("a") != 5 || s.Get("b") != 7 {
+		t.Fatalf("got a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+}
+
+func TestSetNamesOrder(t *testing.T) {
+	s := NewSet()
+	s.Inc("z")
+	s.Inc("a")
+	s.Inc("z")
+	names := s.Names()
+	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSetSnapshotIsolated(t *testing.T) {
+	s := NewSet()
+	s.Set("x", 1)
+	snap := s.Snapshot()
+	s.Add("x", 10)
+	if snap["x"] != 1 {
+		t.Fatalf("snapshot mutated: %d", snap["x"])
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := NewSet()
+	s.Set("x", 9)
+	s.Reset()
+	if s.Get("x") != 0 {
+		t.Fatal("reset did not zero")
+	}
+	if len(s.Names()) != 1 {
+		t.Fatal("reset dropped registry")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet()
+	s.Set("beta", 2)
+	s.Set("alpha", 1)
+	out := s.String()
+	if strings.Index(out, "alpha") > strings.Index(out, "beta") {
+		t.Fatalf("String not sorted:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []uint64{1, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 5000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantMean := float64(1+10+11+100+500+5000) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v want %v", h.Mean(), wantMean)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || len(counts) != 4 {
+		t.Fatalf("buckets: %v %v", bounds, counts)
+	}
+	// <=10: {1,10}; <=100: {11,100}; <=1000: {500}; overflow: {5000}
+	want := []uint64{2, 2, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds accepted")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	if NewHistogram(1).Mean() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 2)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Fatalf("geomean of non-positives = %v", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("mean(nil) = %v", m)
+	}
+}

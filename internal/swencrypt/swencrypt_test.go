@@ -1,0 +1,76 @@
+package swencrypt
+
+import (
+	"bytes"
+	"testing"
+
+	"fsencr/internal/aesctr"
+	"fsencr/internal/config"
+)
+
+func k(b byte) aesctr.Key {
+	var key aesctr.Key
+	for i := range key {
+		key[i] = b
+	}
+	return key
+}
+
+func page(b byte) []byte {
+	p := make([]byte, config.PageSize)
+	for i := range p {
+		p[i] = b + byte(i%200)
+	}
+	return p
+}
+
+func TestRoundtrip(t *testing.T) {
+	c := New(k(1), 42)
+	p := page(3)
+	orig := append([]byte(nil), p...)
+	c.CryptPage(5, p)
+	if bytes.Equal(p, orig) {
+		t.Fatal("encryption is identity")
+	}
+	c.CryptPage(5, p)
+	if !bytes.Equal(p, orig) {
+		t.Fatal("roundtrip failed")
+	}
+}
+
+func TestPageIndexSeparation(t *testing.T) {
+	c := New(k(1), 42)
+	a, b := page(3), page(3)
+	c.CryptPage(1, a)
+	c.CryptPage(2, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different pages encrypted identically")
+	}
+}
+
+func TestInodeSeparation(t *testing.T) {
+	a, b := page(3), page(3)
+	New(k(1), 10).CryptPage(7, a)
+	New(k(1), 11).CryptPage(7, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different inodes encrypted identically")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	a, b := page(3), page(3)
+	New(k(1), 10).CryptPage(7, a)
+	New(k(2), 10).CryptPage(7, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different keys encrypted identically")
+	}
+}
+
+func TestWrongSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short page accepted")
+		}
+	}()
+	New(k(1), 1).CryptPage(0, make([]byte, 100))
+}

@@ -1,0 +1,190 @@
+// Package whisper implements the persistent data structures of the Whisper
+// benchmark suite used in the paper's evaluation (Table II): a persistent
+// chained hashmap, a crit-bit tree (ctree), and a YCSB driver running a
+// configurable read/write mix with zipfian key popularity over the hashmap.
+// All structures live in a pmem pool and persist every durable store.
+package whisper
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"fsencr/internal/pmem"
+)
+
+// Hashmap is a persistent fixed-bucket chained hash table. Root slot usage:
+// slot rootSlot holds the bucket-array offset, slot rootSlot+1 the bucket
+// count.
+type Hashmap struct {
+	pool      *pmem.Pool
+	rootSlot  int
+	buckets   uint64 // cached bucket count
+	bucketArr uint64 // cached bucket-array offset
+	valueSize int
+}
+
+// Entry layout: [key 8][next 8][vlen 8][value ...].
+const (
+	entKey  = 0
+	entNext = 8
+	entVLen = 16
+	entVal  = 24
+)
+
+// ErrNotFound is returned for missing keys.
+var ErrNotFound = errors.New("whisper: key not found")
+
+// CreateHashmap initializes a hashmap with nbuckets buckets for values of
+// valueSize bytes.
+func CreateHashmap(pool *pmem.Pool, rootSlot int, nbuckets uint64, valueSize int) (*Hashmap, error) {
+	arr, err := pool.Alloc(nbuckets * 8)
+	if err != nil {
+		return nil, err
+	}
+	zero := make([]byte, nbuckets*8)
+	if err := pool.Store(pool.Addr(arr), zero); err != nil {
+		return nil, err
+	}
+	if err := pool.SetRoot(rootSlot, arr); err != nil {
+		return nil, err
+	}
+	if err := pool.SetRoot(rootSlot+1, nbuckets); err != nil {
+		return nil, err
+	}
+	return &Hashmap{pool: pool, rootSlot: rootSlot, buckets: nbuckets, bucketArr: arr, valueSize: valueSize}, nil
+}
+
+// OpenHashmap attaches to an existing hashmap.
+func OpenHashmap(pool *pmem.Pool, rootSlot int, valueSize int) (*Hashmap, error) {
+	arr, err := pool.GetRoot(rootSlot)
+	if err != nil {
+		return nil, err
+	}
+	n, err := pool.GetRoot(rootSlot + 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Hashmap{pool: pool, rootSlot: rootSlot, buckets: n, bucketArr: arr, valueSize: valueSize}, nil
+}
+
+// View binds the map to another thread's pool view.
+func (h *Hashmap) View(pool *pmem.Pool) *Hashmap {
+	v := *h
+	v.pool = pool
+	return &v
+}
+
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (h *Hashmap) bucketAddr(key uint64) uint64 {
+	return h.bucketArr + hashKey(key)%h.buckets*8
+}
+
+// find walks the chain for key, returning the entry offset (0 if absent).
+func (h *Hashmap) find(key uint64) (uint64, error) {
+	cur, err := h.pool.LoadU64(h.pool.Addr(h.bucketAddr(key)))
+	if err != nil {
+		return 0, err
+	}
+	var hdr [16]byte
+	for cur != 0 {
+		if err := h.pool.Load(h.pool.Addr(cur), hdr[:]); err != nil {
+			return 0, err
+		}
+		if binary.LittleEndian.Uint64(hdr[entKey:]) == key {
+			return cur, nil
+		}
+		cur = binary.LittleEndian.Uint64(hdr[entNext:])
+	}
+	return 0, nil
+}
+
+// Put inserts or updates key with val (val must be at most the map's value
+// size). Updates overwrite the value in place and persist it; inserts
+// allocate an entry, persist it, then durably link it at the bucket head —
+// the standard persist-then-link pattern.
+func (h *Hashmap) Put(key uint64, val []byte) error {
+	ent, err := h.find(key)
+	if err != nil {
+		return err
+	}
+	if ent != 0 {
+		// In-place update: vlen and value are contiguous, one persist.
+		upd := make([]byte, 8+len(val))
+		binary.LittleEndian.PutUint64(upd, uint64(len(val)))
+		copy(upd[8:], val)
+		return h.pool.Store(h.pool.Addr(ent)+entVLen, upd)
+	}
+	ent, err = h.pool.Alloc(uint64(entVal + h.valueSize))
+	if err != nil {
+		return err
+	}
+	bucket := h.bucketAddr(key)
+	head, err := h.pool.LoadU64(h.pool.Addr(bucket))
+	if err != nil {
+		return err
+	}
+	// Header and value are contiguous: one write, one persist, then the
+	// durable link at the bucket head (persist-then-link).
+	rec := make([]byte, entVal+len(val))
+	binary.LittleEndian.PutUint64(rec[entKey:], key)
+	binary.LittleEndian.PutUint64(rec[entNext:], head)
+	binary.LittleEndian.PutUint64(rec[entVLen:], uint64(len(val)))
+	copy(rec[entVal:], val)
+	if err := h.pool.Store(h.pool.Addr(ent), rec); err != nil {
+		return err
+	}
+	return h.pool.StoreU64(h.pool.Addr(bucket), ent)
+}
+
+// Get reads key's value into buf, returning its length.
+func (h *Hashmap) Get(key uint64, buf []byte) (int, error) {
+	ent, err := h.find(key)
+	if err != nil {
+		return 0, err
+	}
+	if ent == 0 {
+		return 0, ErrNotFound
+	}
+	vlen, err := h.pool.LoadU64(h.pool.Addr(ent) + entVLen)
+	if err != nil {
+		return 0, err
+	}
+	n := int(vlen)
+	if n > len(buf) {
+		n = len(buf)
+	}
+	return n, h.pool.Load(h.pool.Addr(ent)+entVal, buf[:n])
+}
+
+// Remove deletes key from the map, durably unlinking its entry from the
+// chain (the entry's storage is leaked to the pool, as in Whisper's
+// allocator-free hashmap). Returns whether the key was present.
+func (h *Hashmap) Remove(key uint64) (bool, error) {
+	bucket := h.bucketAddr(key)
+	cur, err := h.pool.LoadU64(h.pool.Addr(bucket))
+	if err != nil {
+		return false, err
+	}
+	prevLink := h.pool.Addr(bucket) // address of the 8-byte link to rewrite
+	var hdr [16]byte
+	for cur != 0 {
+		if err := h.pool.Load(h.pool.Addr(cur), hdr[:]); err != nil {
+			return false, err
+		}
+		next := binary.LittleEndian.Uint64(hdr[entNext:])
+		if binary.LittleEndian.Uint64(hdr[entKey:]) == key {
+			return true, h.pool.StoreU64(prevLink, next)
+		}
+		prevLink = h.pool.Addr(cur) + entNext
+		cur = next
+	}
+	return false, nil
+}

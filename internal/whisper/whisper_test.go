@@ -1,0 +1,370 @@
+package whisper
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+	"fsencr/internal/pmem"
+	"fsencr/internal/sim"
+)
+
+func mkpool(t *testing.T, mb int) (*pmem.Pool, *kernel.System) {
+	t.Helper()
+	s := kernel.Boot(config.Default(), memctrl.Mode{MemEncryption: true, FileEncryption: true}, kernel.ModeDAX)
+	p := s.NewProcess(1000, 100)
+	size := uint64(mb) << 20
+	f, err := s.CreateFile(p, "whisper", 0600, size, true, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := pmem.Create(p, f, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, s
+}
+
+func val(k uint64, n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(k) + byte(i*3)
+	}
+	return v
+}
+
+func TestHashmapPutGet(t *testing.T) {
+	pool, _ := mkpool(t, 8)
+	h, err := CreateHashmap(pool, 0, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Put(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := h.Get(1, buf)
+	if err != nil || string(buf[:n]) != "one" {
+		t.Fatalf("got %q err=%v", buf[:n], err)
+	}
+	if _, err := h.Get(2, buf); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestHashmapUpdateInPlace(t *testing.T) {
+	pool, _ := mkpool(t, 8)
+	h, _ := CreateHashmap(pool, 0, 64, 32)
+	h.Put(5, []byte("first"))
+	h.Put(5, []byte("second"))
+	buf := make([]byte, 32)
+	n, _ := h.Get(5, buf)
+	if string(buf[:n]) != "second" {
+		t.Fatalf("got %q", buf[:n])
+	}
+}
+
+func TestHashmapCollisionChains(t *testing.T) {
+	pool, _ := mkpool(t, 16)
+	// 4 buckets force heavy chaining.
+	h, _ := CreateHashmap(pool, 0, 4, 16)
+	const N = 200
+	for k := uint64(0); k < N; k++ {
+		if err := h.Put(k, val(k, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	for k := uint64(0); k < N; k++ {
+		n, err := h.Get(k, buf)
+		if err != nil || !bytes.Equal(buf[:n], val(k, 16)) {
+			t.Fatalf("key %d lost in chain: %v", k, err)
+		}
+	}
+}
+
+func TestHashmapOpenExisting(t *testing.T) {
+	pool, _ := mkpool(t, 8)
+	h, _ := CreateHashmap(pool, 0, 64, 32)
+	h.Put(9, []byte("persisted"))
+	h2, err := OpenHashmap(pool, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := h2.Get(9, buf)
+	if err != nil || string(buf[:n]) != "persisted" {
+		t.Fatal("reopened hashmap lost data")
+	}
+}
+
+func TestHashmapCrossView(t *testing.T) {
+	pool, s := mkpool(t, 8)
+	h, _ := CreateHashmap(pool, 0, 64, 32)
+	p2 := s.NewProcess(1000, 100)
+	f, _ := s.FS.Lookup("whisper")
+	pool2, err := pmem.Open(p2, f, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := h.View(pool2)
+	h.Put(1, []byte("alpha"))
+	buf := make([]byte, 32)
+	n, err := h2.Get(1, buf)
+	if err != nil || string(buf[:n]) != "alpha" {
+		t.Fatal("cross-view get failed")
+	}
+}
+
+func TestCTreePutGet(t *testing.T) {
+	pool, _ := mkpool(t, 8)
+	c, err := CreateCTree(pool, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(10, []byte("ten")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := c.Get(10, buf)
+	if err != nil || string(buf[:n]) != "ten" {
+		t.Fatalf("got %q err=%v", buf[:n], err)
+	}
+	if _, err := c.Get(11, buf); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestCTreeEmptyGet(t *testing.T) {
+	pool, _ := mkpool(t, 4)
+	c, _ := CreateCTree(pool, 0, 16)
+	if _, err := c.Get(1, make([]byte, 16)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty tree get: %v", err)
+	}
+}
+
+func TestCTreeManyKeys(t *testing.T) {
+	pool, _ := mkpool(t, 16)
+	c, _ := CreateCTree(pool, 0, 16)
+	rng := sim.NewRNG(7)
+	keys := make(map[uint64]bool)
+	for i := 0; i < 300; i++ {
+		k := rng.Uint64() // full 64-bit keys stress crit-bit placement
+		keys[k] = true
+		if err := c.Put(k, val(k, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	for k := range keys {
+		n, err := c.Get(k, buf)
+		if err != nil || !bytes.Equal(buf[:n], val(k, 16)) {
+			t.Fatalf("key %#x lost: %v", k, err)
+		}
+	}
+}
+
+func TestCTreeUpdateInPlace(t *testing.T) {
+	pool, _ := mkpool(t, 8)
+	c, _ := CreateCTree(pool, 0, 16)
+	c.Put(3, []byte("aaa"))
+	c.Put(3, []byte("bbb"))
+	buf := make([]byte, 16)
+	n, _ := c.Get(3, buf)
+	if string(buf[:n]) != "bbb" {
+		t.Fatalf("got %q", buf[:n])
+	}
+}
+
+func TestCTreeAdjacentKeys(t *testing.T) {
+	// Keys differing in the lowest bit exercise crit-bit edge cases.
+	pool, _ := mkpool(t, 8)
+	c, _ := CreateCTree(pool, 0, 16)
+	for k := uint64(0); k < 32; k++ {
+		if err := c.Put(k, val(k, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	for k := uint64(0); k < 32; k++ {
+		n, err := c.Get(k, buf)
+		if err != nil || !bytes.Equal(buf[:n], val(k, 16)) {
+			t.Fatalf("dense key %d lost", k)
+		}
+	}
+}
+
+func TestCTreeModelProperty(t *testing.T) {
+	pool, _ := mkpool(t, 16)
+	c, _ := CreateCTree(pool, 0, 24)
+	model := map[uint64][]byte{}
+	rng := sim.NewRNG(13)
+	for i := 0; i < 600; i++ {
+		k := rng.Uint64n(128)
+		if rng.Intn(2) == 0 {
+			v := val(k+uint64(i), 24)
+			if err := c.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		} else {
+			buf := make([]byte, 24)
+			n, err := c.Get(k, buf)
+			want, ok := model[k]
+			if !ok {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("step %d: want NotFound, got %v", i, err)
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(buf[:n], want) {
+				t.Fatalf("step %d key %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestHashmapDurableAcrossCrash(t *testing.T) {
+	pool, s := mkpool(t, 8)
+	h, _ := CreateHashmap(pool, 0, 64, 32)
+	for k := uint64(0); k < 50; k++ {
+		h.Put(k, val(k, 32))
+	}
+	s.M.Crash(true)
+	if err := s.M.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	buf := make([]byte, 32)
+	for k := uint64(0); k < 50; k++ {
+		n, err := h.Get(k, buf)
+		if err != nil || !bytes.Equal(buf[:n], val(k, 32)) {
+			t.Fatalf("key %d lost after crash", k)
+		}
+	}
+}
+
+func TestHashmapRemove(t *testing.T) {
+	pool, _ := mkpool(t, 8)
+	h, _ := CreateHashmap(pool, 0, 4, 16) // tiny bucket count: long chains
+	for k := uint64(0); k < 30; k++ {
+		h.Put(k, val(k, 16))
+	}
+	// Remove head, middle, and tail positions of chains.
+	for _, k := range []uint64{0, 13, 29} {
+		ok, err := h.Remove(k)
+		if err != nil || !ok {
+			t.Fatalf("remove %d: %v %v", k, ok, err)
+		}
+	}
+	buf := make([]byte, 16)
+	for k := uint64(0); k < 30; k++ {
+		_, err := h.Get(k, buf)
+		removed := k == 0 || k == 13 || k == 29
+		if removed && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("removed key %d still present", k)
+		}
+		if !removed && err != nil {
+			t.Fatalf("key %d lost: %v", k, err)
+		}
+	}
+	if ok, _ := h.Remove(0); ok {
+		t.Fatal("double remove succeeded")
+	}
+	// Reinsert a removed key.
+	h.Put(13, []byte("back"))
+	n, err := h.Get(13, buf)
+	if err != nil || string(buf[:n]) != "back" {
+		t.Fatal("reinsert after remove failed")
+	}
+}
+
+func TestCTreeDelete(t *testing.T) {
+	pool, _ := mkpool(t, 8)
+	c, _ := CreateCTree(pool, 0, 16)
+	for k := uint64(0); k < 32; k++ {
+		c.Put(k, val(k, 16))
+	}
+	for k := uint64(0); k < 32; k += 3 {
+		ok, err := c.Delete(k)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", k, ok, err)
+		}
+	}
+	buf := make([]byte, 16)
+	for k := uint64(0); k < 32; k++ {
+		_, err := c.Get(k, buf)
+		if k%3 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key %d still present", k)
+		}
+		if k%3 != 0 && err != nil {
+			t.Fatalf("key %d lost after sibling splice: %v", k, err)
+		}
+	}
+	if ok, _ := c.Delete(0); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestCTreeDeleteToEmpty(t *testing.T) {
+	pool, _ := mkpool(t, 4)
+	c, _ := CreateCTree(pool, 0, 16)
+	c.Put(7, []byte("only"))
+	ok, err := c.Delete(7)
+	if err != nil || !ok {
+		t.Fatal("delete sole key failed")
+	}
+	if _, err := c.Get(7, make([]byte, 16)); !errors.Is(err, ErrNotFound) {
+		t.Fatal("tree not empty")
+	}
+	// Tree usable after emptying.
+	c.Put(9, []byte("again"))
+	buf := make([]byte, 16)
+	n, err := c.Get(9, buf)
+	if err != nil || string(buf[:n]) != "again" {
+		t.Fatal("reuse after emptying failed")
+	}
+}
+
+func TestCTreeDeleteModelProperty(t *testing.T) {
+	pool, _ := mkpool(t, 16)
+	c, _ := CreateCTree(pool, 0, 24)
+	model := map[uint64][]byte{}
+	rng := sim.NewRNG(31)
+	buf := make([]byte, 24)
+	for i := 0; i < 800; i++ {
+		k := rng.Uint64n(100)
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := val(k+uint64(i), 24)
+			if err := c.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 2:
+			ok, err := c.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := model[k]
+			if ok != want {
+				t.Fatalf("step %d: delete(%d)=%v model=%v", i, k, ok, want)
+			}
+			delete(model, k)
+		default:
+			n, err := c.Get(k, buf)
+			want, ok := model[k]
+			if !ok {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("step %d: want NotFound got %v", i, err)
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(buf[:n], want) {
+				t.Fatalf("step %d: key %d mismatch", i, k)
+			}
+		}
+	}
+}

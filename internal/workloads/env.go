@@ -1,0 +1,164 @@
+// Package workloads implements every benchmark of Table II: the in-house
+// DAX microbenchmarks (DAX-1..4), the ten PMEMKV BTree workloads
+// (fillseq/fillrandom/overwrite/readseq/readrandom × small/large values),
+// and the Whisper benchmarks (YCSB, Hashmap, CTree). Each workload has an
+// untimed Setup phase (file creation and data loading — the paper
+// fast-forwards to the post-file-creation point) and a timed Run phase.
+package workloads
+
+import (
+	"fmt"
+
+	"fsencr/internal/fs"
+	"fsencr/internal/kernel"
+	"fsencr/internal/pmem"
+	"fsencr/internal/sim"
+)
+
+// Env is the execution environment handed to a workload.
+type Env struct {
+	Sys   *kernel.System
+	Procs []*kernel.Process
+	// Ops is the number of timed operations per thread.
+	Ops int
+	// ValueSize is the record payload size (workload-specific default if 0).
+	ValueSize int
+	// Encrypted marks whether the benchmark's files use filesystem
+	// encryption (on for FsEncr and SWEncr schemes, off for the plain and
+	// memory-encryption-only baselines).
+	Encrypted bool
+	// Passphrase protects the files when Encrypted.
+	Passphrase string
+	// Seed drives all random choices, for reproducible access streams.
+	Seed uint64
+
+	// state carries handles from Setup to Run.
+	pools []*pmem.Pool
+	file  *fs.File
+	extra map[string]interface{}
+}
+
+// NewEnv builds an environment with `threads` processes (uid 1000, gid 100,
+// logged in).
+func NewEnv(sys *kernel.System, threads, ops int, encrypted bool, seed uint64) *Env {
+	e := &Env{
+		Sys:        sys,
+		Ops:        ops,
+		Encrypted:  encrypted,
+		Passphrase: "correct horse battery staple",
+		Seed:       seed,
+		extra:      make(map[string]interface{}),
+	}
+	sys.Keyring.Login(1000, e.Passphrase)
+	for i := 0; i < threads; i++ {
+		e.Procs = append(e.Procs, sys.NewProcess(1000, 100))
+	}
+	return e
+}
+
+// CreatePool creates the benchmark's pool file and maps it into every
+// thread, returning per-thread pool views.
+func (e *Env) CreatePool(name string, size uint64) error {
+	f, err := e.Sys.CreateFile(e.Procs[0], name, 0600, size, e.Encrypted, e.Passphrase)
+	if err != nil {
+		return err
+	}
+	e.file = f
+	p0, err := pmem.Create(e.Procs[0], f, size)
+	if err != nil {
+		return err
+	}
+	e.pools = []*pmem.Pool{p0}
+	for i := 1; i < len(e.Procs); i++ {
+		pi, err := pmem.Open(e.Procs[i], f, size)
+		if err != nil {
+			return err
+		}
+		e.pools = append(e.pools, pi)
+	}
+	return nil
+}
+
+// Pool returns thread t's view of the shared pool.
+func (e *Env) Pool(t int) *pmem.Pool { return e.pools[t] }
+
+// File returns the benchmark's backing file.
+func (e *Env) File() *fs.File { return e.file }
+
+// RNG returns a thread-private deterministic generator.
+func (e *Env) RNG(thread int) *sim.RNG {
+	return sim.NewRNG(e.Seed*2654435761 + uint64(thread)*97 + 1)
+}
+
+// Put and Get stash setup state for Run.
+func (e *Env) Put(k string, v interface{}) { e.extra[k] = v }
+
+// Get retrieves setup state.
+func (e *Env) Get(k string) interface{} { return e.extra[k] }
+
+// RunThreads interleaves opsPerThread operations across the environment's
+// threads, always advancing the thread whose core clock is furthest behind
+// — a deterministic stand-in for concurrent execution that keeps shared
+// bank/cache contention realistic.
+func (e *Env) RunThreads(opsPerThread int, fn func(thread, op int) error) error {
+	done := make([]int, len(e.Procs))
+	remaining := opsPerThread * len(e.Procs)
+	for remaining > 0 {
+		best := -1
+		for t := range e.Procs {
+			if done[t] >= opsPerThread {
+				continue
+			}
+			if best == -1 || e.Procs[t].Now() < e.Procs[best].Now() {
+				best = t
+			}
+		}
+		if err := fn(best, done[best]); err != nil {
+			return fmt.Errorf("workloads: thread %d op %d: %w", best, done[best], err)
+		}
+		done[best]++
+		remaining--
+	}
+	return nil
+}
+
+// Workload is one Table II benchmark.
+type Workload struct {
+	Name    string
+	Desc    string
+	Threads int
+	// DefaultValueSize, if nonzero, sets Env.ValueSize when unspecified.
+	DefaultValueSize int
+	// BenchOps is the per-thread operation count the figure-regeneration
+	// harness uses for this workload (tests use far fewer).
+	BenchOps int
+	Setup    func(e *Env) error
+	Run      func(e *Env) error
+}
+
+var registry = map[string]*Workload{}
+var order []string
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+	order = append(order, w.Name)
+}
+
+// Lookup finds a workload by name.
+func Lookup(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// Names returns every registered workload in registration order.
+func Names() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}

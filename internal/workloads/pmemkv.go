@@ -1,0 +1,205 @@
+package workloads
+
+import (
+	"fmt"
+
+	"fsencr/internal/kvstore"
+)
+
+// PMEMKV benchmarks (Table II): the BTree engine with two threads, run with
+// 64 B values (suffix -s, "small") and 4 KB values (suffix -l, "large").
+// Each thread operates on its own key range, mirroring pmemkv's
+// db_bench-style drivers.
+
+const (
+	smallValue = 64
+	largeValue = 4096
+)
+
+// pmemkvPoolSize sizes the pool generously for the op count.
+func pmemkvPoolSize(e *Env, valueSize int) uint64 {
+	per := uint64(valueSize+64+2*kvstore.Order*24) * uint64(e.Ops+16)
+	size := per * uint64(len(e.Procs)) * 4
+	if size < 8<<20 {
+		size = 8 << 20
+	}
+	return size
+}
+
+// threadKey spreads thread key ranges far apart.
+func threadKey(thread int, i uint64) uint64 {
+	return uint64(thread)<<40 | i
+}
+
+// setupTree creates the pool and an empty shared BTree.
+func setupTree(e *Env, valueSize int) (*kvstore.BTree, error) {
+	if err := e.CreatePool("pmemkv.pool", pmemkvPoolSize(e, valueSize)); err != nil {
+		return nil, err
+	}
+	t, err := kvstore.Create(e.Pool(0), 0)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// treeViews returns per-thread views of the shared tree.
+func treeViews(e *Env, t *kvstore.BTree) []*kvstore.BTree {
+	views := make([]*kvstore.BTree, len(e.Procs))
+	views[0] = t
+	for i := 1; i < len(e.Procs); i++ {
+		views[i] = t.View(e.Pool(i))
+	}
+	return views
+}
+
+// preload fills each thread's range with e.Ops sequential keys (untimed).
+func preload(e *Env, trees []*kvstore.BTree, valueSize int) error {
+	val := make([]byte, valueSize)
+	rng := e.RNG(0)
+	for t := range trees {
+		for i := uint64(0); i < uint64(e.Ops); i++ {
+			rng.Bytes(val)
+			if err := trees[t].Put(threadKey(t, i), val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type kvOp func(e *Env, trees []*kvstore.BTree, valueSize int) error
+
+// fillSeq loads values in sequential key order (timed).
+func fillSeq(e *Env, trees []*kvstore.BTree, valueSize int) error {
+	vals := perThreadBufs(e, valueSize)
+	rngs := perThreadRNGs(e)
+	return e.RunThreads(e.Ops, func(t, i int) error {
+		rngs[t].Bytes(vals[t])
+		return trees[t].Put(threadKey(t, uint64(i)), vals[t])
+	})
+}
+
+// fillRandom loads values in random key order (timed).
+func fillRandom(e *Env, trees []*kvstore.BTree, valueSize int) error {
+	vals := perThreadBufs(e, valueSize)
+	rngs := perThreadRNGs(e)
+	perms := make([][]int, len(trees))
+	for t := range perms {
+		perms[t] = rngs[t].Perm(e.Ops)
+	}
+	return e.RunThreads(e.Ops, func(t, i int) error {
+		rngs[t].Bytes(vals[t])
+		return trees[t].Put(threadKey(t, uint64(perms[t][i])), vals[t])
+	})
+}
+
+// overwrite replaces existing values in random key order (timed; preloaded).
+func overwrite(e *Env, trees []*kvstore.BTree, valueSize int) error {
+	vals := perThreadBufs(e, valueSize)
+	rngs := perThreadRNGs(e)
+	return e.RunThreads(e.Ops, func(t, i int) error {
+		rngs[t].Bytes(vals[t])
+		key := threadKey(t, rngs[t].Uint64n(uint64(e.Ops)))
+		return trees[t].Put(key, vals[t])
+	})
+}
+
+// readRandom reads values in random key order (timed; preloaded).
+func readRandom(e *Env, trees []*kvstore.BTree, valueSize int) error {
+	vals := perThreadBufs(e, valueSize)
+	rngs := perThreadRNGs(e)
+	return e.RunThreads(e.Ops, func(t, i int) error {
+		key := threadKey(t, rngs[t].Uint64n(uint64(e.Ops)))
+		_, err := trees[t].Get(key, vals[t])
+		return err
+	})
+}
+
+// readSeq reads values in sequential key order (timed; preloaded).
+func readSeq(e *Env, trees []*kvstore.BTree, valueSize int) error {
+	vals := perThreadBufs(e, valueSize)
+	return e.RunThreads(e.Ops, func(t, i int) error {
+		_, err := trees[t].Get(threadKey(t, uint64(i)), vals[t])
+		return err
+	})
+}
+
+func perThreadBufs(e *Env, n int) [][]byte {
+	out := make([][]byte, len(e.Procs))
+	for i := range out {
+		out[i] = make([]byte, n)
+	}
+	return out
+}
+
+func perThreadRNGs(e *Env) []rngIface {
+	out := make([]rngIface, len(e.Procs))
+	for i := range out {
+		out[i] = e.RNG(i + 1)
+	}
+	return out
+}
+
+type rngIface = interface {
+	Bytes([]byte)
+	Uint64n(uint64) uint64
+	Perm(int) []int
+}
+
+func registerKV(name, desc string, valueSize int, needPreload bool, op kvOp) {
+	benchOps := 6000
+	if valueSize >= largeValue {
+		benchOps = 1500
+	}
+	register(&Workload{
+		Name:             name,
+		Desc:             desc,
+		Threads:          2,
+		DefaultValueSize: valueSize,
+		BenchOps:         benchOps,
+		Setup: func(e *Env) error {
+			t, err := setupTree(e, valueSize)
+			if err != nil {
+				return err
+			}
+			views := treeViews(e, t)
+			if needPreload {
+				if err := preload(e, views, valueSize); err != nil {
+					return err
+				}
+			}
+			e.Put("trees", views)
+			return nil
+		},
+		Run: func(e *Env) error {
+			views := e.Get("trees").([]*kvstore.BTree)
+			return op(e, views, valueSize)
+		},
+	})
+}
+
+func init() {
+	type variant struct {
+		suffix string
+		size   int
+	}
+	for _, v := range []variant{{"s", smallValue}, {"l", largeValue}} {
+		sz := v.size
+		registerKV("fillseq-"+v.suffix,
+			fmt.Sprintf("fillseq benchmark; Value=%dB; loads values in sequential key order", sz),
+			sz, false, fillSeq)
+		registerKV("fillrandom-"+v.suffix,
+			fmt.Sprintf("fillrandom benchmark; Value=%dB; loads values in random key order", sz),
+			sz, false, fillRandom)
+		registerKV("overwrite-"+v.suffix,
+			fmt.Sprintf("overwrite benchmark; Value=%dB; replaces values in random key order", sz),
+			sz, true, overwrite)
+		registerKV("readrandom-"+v.suffix,
+			fmt.Sprintf("readrandom benchmark; Value=%dB; reads values in random key order", sz),
+			sz, true, readRandom)
+		registerKV("readseq-"+v.suffix,
+			fmt.Sprintf("readseq benchmark; Value=%dB; reads values in sequential key order", sz),
+			sz, true, readSeq)
+	}
+}

@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"testing"
+
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+)
+
+// runUnder executes a workload briefly under the given configuration,
+// returning the system and the run-phase (post-setup) NVM read/write
+// deltas.
+func runUnder(t *testing.T, name string, mcMode memctrl.Mode, access kernel.AccessMode, encrypted bool) (*kernel.System, uint64, uint64) {
+	t.Helper()
+	w, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := kernel.Boot(config.Default(), mcMode, access)
+	env := NewEnv(sys, w.Threads, 40, encrypted, 5)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	r0, w0 := sys.M.MC.PCM.Reads(), sys.M.MC.PCM.Writes()
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	return sys, sys.M.MC.PCM.Reads() - r0, sys.M.MC.PCM.Writes() - w0
+}
+
+// TestFsEncrWorkloadsTagPages: under FsEncr, every DAX workload must drive
+// the file-encryption datapath (FECB tagging via MMIO at fault time).
+func TestFsEncrWorkloadsTagPages(t *testing.T) {
+	for _, name := range []string{"dax1", "fillseq-s", "ycsb"} {
+		sys, _, _ := runUnder(t, name, memctrl.Mode{MemEncryption: true, FileEncryption: true}, kernel.ModeDAX, true)
+		if sys.M.Stats().Get("mc.page_tags") == 0 {
+			t.Fatalf("%s: no FECB tagging under FsEncr", name)
+		}
+		if sys.M.Stats().Get("mc.key_installs") == 0 {
+			t.Fatalf("%s: no key installed", name)
+		}
+	}
+}
+
+// TestBaselineNeverTouchesFileDatapath: the memory-encryption-only baseline
+// must not tag pages or consult the OTT.
+func TestBaselineNeverTouchesFileDatapath(t *testing.T) {
+	sys, _, _ := runUnder(t, "hashmap", memctrl.Mode{MemEncryption: true}, kernel.ModeDAX, false)
+	st := sys.M.Stats()
+	for _, k := range []string{"mc.page_tags", "mc.key_installs", "mc.ott_hits", "mc.ott_misses"} {
+		if st.Get(k) != 0 {
+			t.Fatalf("baseline recorded %s = %d", k, st.Get(k))
+		}
+	}
+}
+
+// TestSWEncrUsesPageCacheNotDAX: the software-encryption scheme must route
+// everything through the page cache and never produce DF-tagged traffic.
+func TestSWEncrUsesPageCacheNotDAX(t *testing.T) {
+	sys, _, _ := runUnder(t, "ctree", memctrl.Mode{}, kernel.ModeSWEncrypt, true)
+	st := sys.M.Stats()
+	if st.Get("kernel.pagecache_loads") == 0 {
+		t.Fatal("software encryption bypassed the page cache")
+	}
+	if st.Get("kernel.sw_decrypts") == 0 && st.Get("kernel.sw_encrypts") == 0 {
+		t.Fatal("software cipher never ran")
+	}
+	if st.Get("mc.page_tags") != 0 {
+		t.Fatal("software scheme tagged FECBs")
+	}
+}
+
+// TestWorkloadsDeterministicTraffic: identical runs produce identical NVM
+// traffic (the foundation of scheme-vs-scheme comparisons).
+func TestWorkloadsDeterministicTraffic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		sys, _, _ := runUnder(t, "fillrandom-s", memctrl.Mode{MemEncryption: true, FileEncryption: true}, kernel.ModeDAX, true)
+		return sys.M.MC.PCM.Reads(), sys.M.MC.PCM.Writes()
+	}
+	r1, w1 := run()
+	r2, w2 := run()
+	if r1 != r2 || w1 != w2 {
+		t.Fatalf("nondeterministic traffic: (%d,%d) vs (%d,%d)", r1, w1, r2, w2)
+	}
+}
+
+// TestWriteHeavyVsReadHeavyTraffic: the fill workloads must write far more
+// NVM lines than the read workloads — the asymmetry behind the paper's
+// "write-intensive benchmarks have higher overheads".
+func TestWriteHeavyVsReadHeavyTraffic(t *testing.T) {
+	_, _, fw := runUnder(t, "fillseq-s", memctrl.Mode{MemEncryption: true}, kernel.ModeDAX, false)
+	_, _, rw := runUnder(t, "readseq-s", memctrl.Mode{MemEncryption: true}, kernel.ModeDAX, false)
+	if fw < 4*rw+10 {
+		t.Fatalf("fill run-phase writes (%d) not clearly above read-workload writes (%d)", fw, rw)
+	}
+}

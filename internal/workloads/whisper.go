@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"fsencr/internal/sim"
+	"fsencr/internal/whisper"
+)
+
+// Whisper benchmarks (Table II): YCSB with a 50/50 read-write mix and two
+// workers over the persistent hashmap, plus insert-driven Hashmap and CTree
+// runs with 128 B records and two threads.
+
+const whisperValueSize = 128
+
+func whisperPoolSize(e *Env) uint64 {
+	per := uint64(whisperValueSize+128) * (uint64(e.Ops) + ycsbRecords(e) + 1024)
+	size := per * uint64(len(e.Procs)) * 4
+	if size < 8<<20 {
+		size = 8 << 20
+	}
+	return size
+}
+
+// ycsbRecords is the preloaded table size for YCSB: large relative to the
+// op count so the key working set exceeds the cache hierarchy, as in a real
+// YCSB run.
+func ycsbRecords(e *Env) uint64 {
+	n := 32 * uint64(e.Ops)
+	if n < 4096 {
+		n = 4096
+	}
+	if n > 1<<17 {
+		n = 1 << 17
+	}
+	return n
+}
+
+func init() {
+	register(&Workload{
+		BenchOps:         2500,
+		Name:             "ycsb",
+		Desc:             "Yahoo Cloud Serving Benchmark; R/W ratio = 0.5; Workers = 2",
+		Threads:          2,
+		DefaultValueSize: whisperValueSize,
+		Setup: func(e *Env) error {
+			if err := e.CreatePool("ycsb.pool", whisperPoolSize(e)); err != nil {
+				return err
+			}
+			records := ycsbRecords(e)
+			h, err := whisper.CreateHashmap(e.Pool(0), 0, records/2+64, whisperValueSize)
+			if err != nil {
+				return err
+			}
+			val := make([]byte, whisperValueSize)
+			rng := e.RNG(0)
+			for k := uint64(0); k < records; k++ {
+				rng.Bytes(val)
+				if err := h.Put(k, val); err != nil {
+					return err
+				}
+			}
+			views := []*whisper.Hashmap{h}
+			for i := 1; i < len(e.Procs); i++ {
+				views = append(views, h.View(e.Pool(i)))
+			}
+			e.Put("maps", views)
+			return nil
+		},
+		Run: func(e *Env) error {
+			views := e.Get("maps").([]*whisper.Hashmap)
+			records := ycsbRecords(e)
+			vals := perThreadBufs(e, whisperValueSize)
+			rngs := make([]*sim.RNG, len(e.Procs))
+			zipfs := make([]*sim.Zipf, len(e.Procs))
+			for i := range rngs {
+				rngs[i] = e.RNG(i + 11)
+				zipfs[i] = sim.NewZipf(rngs[i], 1.1, 1, records)
+			}
+			return e.RunThreads(e.Ops, func(t, i int) error {
+				key := zipfs[t].Uint64()
+				if rngs[t].Float64() < 0.5 {
+					_, err := views[t].Get(key, vals[t])
+					if err == whisper.ErrNotFound {
+						return nil
+					}
+					return err
+				}
+				rngs[t].Bytes(vals[t])
+				return views[t].Put(key, vals[t])
+			})
+		},
+	})
+
+	register(&Workload{
+		BenchOps:         2500,
+		Name:             "hashmap",
+		Desc:             "persistent hashmap; data-size = 128 B; Threads = 2",
+		Threads:          2,
+		DefaultValueSize: whisperValueSize,
+		Setup: func(e *Env) error {
+			if err := e.CreatePool("hashmap.pool", whisperPoolSize(e)); err != nil {
+				return err
+			}
+			h, err := whisper.CreateHashmap(e.Pool(0), 0, uint64(e.Ops)+64, whisperValueSize)
+			if err != nil {
+				return err
+			}
+			views := []*whisper.Hashmap{h}
+			for i := 1; i < len(e.Procs); i++ {
+				views = append(views, h.View(e.Pool(i)))
+			}
+			e.Put("maps", views)
+			return nil
+		},
+		Run: func(e *Env) error {
+			views := e.Get("maps").([]*whisper.Hashmap)
+			vals := perThreadBufs(e, whisperValueSize)
+			rngs := make([]*sim.RNG, len(e.Procs))
+			for i := range rngs {
+				rngs[i] = e.RNG(i + 23)
+			}
+			keyspace := uint64(e.Ops) * uint64(len(e.Procs)) * 2
+			return e.RunThreads(e.Ops, func(t, i int) error {
+				// Insert-heavy with occasional lookups, like Whisper's
+				// hashmap driver.
+				if i%4 == 3 {
+					_, err := views[t].Get(rngs[t].Uint64n(keyspace), vals[t])
+					if err == whisper.ErrNotFound {
+						return nil
+					}
+					return err
+				}
+				rngs[t].Bytes(vals[t])
+				return views[t].Put(rngs[t].Uint64n(keyspace), vals[t])
+			})
+		},
+	})
+
+	register(&Workload{
+		BenchOps:         2500,
+		Name:             "ctree",
+		Desc:             "persistent crit-bit tree; data-size = 128 B; Threads = 2",
+		Threads:          2,
+		DefaultValueSize: whisperValueSize,
+		Setup: func(e *Env) error {
+			if err := e.CreatePool("ctree.pool", whisperPoolSize(e)); err != nil {
+				return err
+			}
+			t, err := whisper.CreateCTree(e.Pool(0), 0, whisperValueSize)
+			if err != nil {
+				return err
+			}
+			views := []*whisper.CTree{t}
+			for i := 1; i < len(e.Procs); i++ {
+				views = append(views, t.View(e.Pool(i)))
+			}
+			e.Put("trees", views)
+			return nil
+		},
+		Run: func(e *Env) error {
+			views := e.Get("trees").([]*whisper.CTree)
+			vals := perThreadBufs(e, whisperValueSize)
+			rngs := make([]*sim.RNG, len(e.Procs))
+			for i := range rngs {
+				rngs[i] = e.RNG(i + 37)
+			}
+			keyspace := uint64(e.Ops) * uint64(len(e.Procs)) * 2
+			return e.RunThreads(e.Ops, func(t, i int) error {
+				if i%4 == 3 {
+					_, err := views[t].Get(rngs[t].Uint64n(keyspace), vals[t])
+					if err == whisper.ErrNotFound {
+						return nil
+					}
+					return err
+				}
+				rngs[t].Bytes(vals[t])
+				return views[t].Put(rngs[t].Uint64n(keyspace), vals[t])
+			})
+		},
+	})
+}

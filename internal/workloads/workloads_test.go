@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"testing"
+
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Table II: 4 synthetic + 10 PMEMKV + 3 Whisper.
+	names := Names()
+	if len(names) != 17 {
+		t.Fatalf("registry has %d workloads, want 17: %v", len(names), names)
+	}
+	for _, n := range names {
+		w, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Desc == "" || w.Threads <= 0 || w.Setup == nil || w.Run == nil {
+			t.Fatalf("workload %q incompletely registered", n)
+		}
+		if w.BenchOps <= 0 {
+			t.Fatalf("workload %q missing BenchOps", n)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown workload resolved")
+	}
+}
+
+func TestTableIIParameters(t *testing.T) {
+	for _, c := range []struct {
+		name    string
+		threads int
+	}{
+		{"dax1", 1}, {"dax2", 1}, {"dax3", 1}, {"dax4", 1},
+		{"fillrandom-s", 2}, {"readseq-l", 2},
+		{"ycsb", 2}, {"hashmap", 2}, {"ctree", 2},
+	} {
+		w, err := Lookup(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Threads != c.threads {
+			t.Fatalf("%s threads = %d, want %d", c.name, w.Threads, c.threads)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		size int
+	}{
+		{"fillseq-s", 64}, {"fillseq-l", 4096}, {"ycsb", 128}, {"hashmap", 128}, {"ctree", 128},
+	} {
+		w, _ := Lookup(c.name)
+		if w.DefaultValueSize != c.size {
+			t.Fatalf("%s value size = %d, want %d", c.name, w.DefaultValueSize, c.size)
+		}
+	}
+}
+
+// TestEveryWorkloadRunsBriefly executes each workload end-to-end with a tiny
+// op count under the FsEncr scheme.
+func TestEveryWorkloadRunsBriefly(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, _ := Lookup(name)
+			sys := kernel.Boot(config.Default(), memctrl.Mode{MemEncryption: true, FileEncryption: true}, kernel.ModeDAX)
+			env := NewEnv(sys, w.Threads, 30, true, 7)
+			if err := w.Setup(env); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			if err := w.Run(env); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if sys.M.MC.IntegrityViolations() != 0 {
+				t.Fatal("integrity violations during workload")
+			}
+		})
+	}
+}
+
+func TestRunThreadsInterleavesByClock(t *testing.T) {
+	sys := kernel.Boot(config.Default(), memctrl.Mode{}, kernel.ModeDAX)
+	env := NewEnv(sys, 2, 10, false, 1)
+	var order []int
+	// Thread 0 ops are expensive, thread 1 ops are cheap: the scheduler
+	// must run many thread-1 ops per thread-0 op.
+	err := env.RunThreads(10, func(thread, op int) error {
+		order = append(order, thread)
+		if thread == 0 {
+			env.Procs[0].Core().Compute(1000)
+		} else {
+			env.Procs[1].Core().Compute(10)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 20 {
+		t.Fatalf("ran %d ops", len(order))
+	}
+	// The first thread-0 op happens, then thread 1 should run a long
+	// burst before thread 0's clock is caught up.
+	burst := 0
+	for _, th := range order[1:11] {
+		if th == 1 {
+			burst++
+		}
+	}
+	if burst < 8 {
+		t.Fatalf("scheduler not clock-driven: %v", order)
+	}
+}
+
+func TestEnvRNGDeterminism(t *testing.T) {
+	sys := kernel.Boot(config.Default(), memctrl.Mode{}, kernel.ModeDAX)
+	a := NewEnv(sys, 1, 1, false, 42).RNG(3)
+	b := NewEnv(sys, 1, 1, false, 42).RNG(3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("env RNG not deterministic")
+	}
+	c := NewEnv(sys, 1, 1, false, 43).RNG(3)
+	if NewEnv(sys, 1, 1, false, 42).RNG(3).Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced same stream")
+	}
+}
