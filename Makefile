@@ -1,0 +1,27 @@
+# CI entry points. `make ci` is what a pipeline should run; the race
+# target matters since the parallel experiment runner introduced real
+# concurrency (worker pools executing independent simulations).
+
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path microbenchmarks (datapath + crypto engine), one iteration batch
+# each — enough for before/after comparisons of the fast-path.
+bench:
+	$(GO) test -run '^$$' -bench 'ReadLine|WriteLine' ./internal/memctrl
+	$(GO) test -run '^$$' -bench . ./internal/aesctr
+
+ci: build vet test race

@@ -40,17 +40,10 @@ var (
 func pmemkvPairs(b *testing.B) core.PairResults {
 	pmemkvOnce.Do(func() {
 		// PMEMKV BenchOps differ between S (6000) and L (1500) variants;
-		// RunGroup takes per-workload counts from the caller, so run the
-		// two halves separately and merge.
-		pmemkvPrs = make(core.PairResults)
-		for _, name := range core.PMEMKVWorkloads {
-			b, t, err := core.RunPair(name, core.SchemeBaseline, core.SchemeFsEncr, benchOps(name), nil)
-			if err != nil {
-				pmemkvErr = err
-				return
-			}
-			pmemkvPrs[name] = [2]core.Result{b, t}
-		}
+		// RunGroupFunc takes the per-workload count and fans the whole
+		// group out over the parallel runner.
+		pmemkvPrs, pmemkvErr = core.RunGroupFunc(core.PMEMKVWorkloads,
+			core.SchemeBaseline, core.SchemeFsEncr, benchOps, nil)
 	})
 	if pmemkvErr != nil {
 		b.Fatal(pmemkvErr)
@@ -60,15 +53,8 @@ func pmemkvPairs(b *testing.B) core.PairResults {
 
 func synthPairs(b *testing.B) core.PairResults {
 	synthOnce.Do(func() {
-		synthPrs = make(core.PairResults)
-		for _, name := range core.SyntheticWorkloads {
-			base, t, err := core.RunPair(name, core.SchemeBaseline, core.SchemeFsEncr, benchOps(name), nil)
-			if err != nil {
-				synthErr = err
-				return
-			}
-			synthPrs[name] = [2]core.Result{base, t}
-		}
+		synthPrs, synthErr = core.RunGroupFunc(core.SyntheticWorkloads,
+			core.SchemeBaseline, core.SchemeFsEncr, benchOps, nil)
 	})
 	if synthErr != nil {
 		b.Fatal(synthErr)

@@ -2,15 +2,22 @@
 //
 // Usage:
 //
-//	fsencr-bench                # every figure, full scale
-//	fsencr-bench -fig 3         # just Figure 3
-//	fsencr-bench -fig 8 -ops 500   # reduced scale
+//	fsencr-bench                    # every figure, full scale
+//	fsencr-bench -fig 3             # just Figure 3
+//	fsencr-bench -fig 8 -ops 500    # reduced scale
+//	fsencr-bench -parallel 1        # sequential baseline (for speedup checks)
+//	fsencr-bench -json BENCH_figures.json   # also dump machine-readable results
 //
 // Figures: 3 (software encryption), 8-10 (PMEMKV), 11 (Whisper),
 // 12-14 (synthetic microbenchmarks), 15 (metadata-cache sensitivity).
+//
+// The simulations behind each figure are independent and run on the
+// parallel experiment runner; -parallel caps the worker count (default:
+// one worker per CPU). Tables are byte-identical at any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,18 +51,75 @@ func benchOps(name string, override int) int {
 	return w.BenchOps
 }
 
+// runJSON is one simulation in the -json dump, with the scheme spelled
+// out (core.Result.Scheme marshals as its integer code).
+type runJSON struct {
+	Workload string      `json:"workload"`
+	Scheme   string      `json:"scheme"`
+	Result   core.Result `json:"result"`
+}
+
+// figureJSON is one figure's worth of machine-readable output: the
+// normalized ratios in workload order plus every underlying run. Figure 15
+// reports its per-workload slowdown series instead of ratios.
+type figureJSON struct {
+	Figure string               `json:"figure"`
+	Labels []string             `json:"labels,omitempty"`
+	Ratios []float64            `json:"ratios,omitempty"`
+	Mean   float64              `json:"mean,omitempty"`
+	Series map[string][]float64 `json:"series,omitempty"`
+	Runs   []runJSON            `json:"runs,omitempty"`
+}
+
+// jsonReport accumulates figures for the -json flag; nil means disabled.
+type jsonReport struct {
+	Parallel int          `json:"parallel"`
+	Figures  []figureJSON `json:"figures"`
+}
+
+func pairRuns(names []string, prs core.PairResults) []runJSON {
+	out := make([]runJSON, 0, 2*len(names))
+	for _, name := range names {
+		pr := prs[name]
+		out = append(out,
+			runJSON{Workload: name, Scheme: pr[0].Scheme.String(), Result: pr[0]},
+			runJSON{Workload: name, Scheme: pr[1].Scheme.String(), Result: pr[1]})
+	}
+	return out
+}
+
+func (r *jsonReport) addRatios(figure string, names []string, ratios []float64, prs core.PairResults) {
+	if r == nil {
+		return
+	}
+	fig := figureJSON{Figure: figure, Labels: names, Ratios: ratios, Mean: stats.Mean(ratios)}
+	if prs != nil {
+		fig.Runs = pairRuns(names, prs)
+	}
+	r.Figures = append(r.Figures, fig)
+}
+
 func main() {
 	var (
-		fig = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
-		ops = flag.Int("ops", 0, "override per-thread op count (0 = full scale)")
+		fig      = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+		ops      = flag.Int("ops", 0, "override per-thread op count (0 = full scale)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		jsonPath = flag.String("json", "", "also write figure ratios and per-run results to this JSON file")
 	)
 	flag.Parse()
+	core.Parallelism = *parallel
+
+	var rep *jsonReport
+	if *jsonPath != "" {
+		rep = &jsonReport{Parallel: *parallel}
+	}
 
 	want := func(n int) bool { return *fig == 0 || *fig == n }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "fsencr-bench:", err)
 		os.Exit(1)
 	}
+	opsFor := func(name string) int { return benchOps(name, *ops) }
 
 	if want(3) {
 		tb, ratios, err := core.Fig3(benchOps("ycsb", *ops))
@@ -66,30 +130,30 @@ func main() {
 		fmt.Println(chart("slowdown vs ext4-dax", core.WhisperWorkloads, ratios))
 		fmt.Printf("paper: ~2.7x average, ~5x YCSB; measured: %.2fx average, %.2fx YCSB\n\n",
 			stats.Mean(ratios), ratios[0])
+		rep.addRatios("fig3", core.WhisperWorkloads, ratios, nil)
 	}
 
 	if want(8) || want(9) || want(10) {
-		prs := make(core.PairResults)
-		for _, name := range core.PMEMKVWorkloads {
-			b, t, err := core.RunPair(name, core.SchemeBaseline, core.SchemeFsEncr, benchOps(name, *ops), nil)
-			if err != nil {
-				fail(err)
-			}
-			prs[name] = [2]core.Result{b, t}
+		prs, err := core.RunGroupFunc(core.PMEMKVWorkloads, core.SchemeBaseline, core.SchemeFsEncr, opsFor, nil)
+		if err != nil {
+			fail(err)
 		}
 		if want(8) {
 			tb, ratios := core.Fig8(prs)
 			fmt.Println(tb)
 			fmt.Println(chart("slowdown vs baseline", core.PMEMKVWorkloads, ratios))
 			fmt.Printf("measured average slowdown: %.2f%%\n\n", (stats.Mean(ratios)-1)*100)
+			rep.addRatios("fig8", core.PMEMKVWorkloads, ratios, prs)
 		}
 		if want(9) {
-			tb, _ := core.Fig9(prs)
+			tb, ratios := core.Fig9(prs)
 			fmt.Println(tb)
+			rep.addRatios("fig9", core.PMEMKVWorkloads, ratios, nil)
 		}
 		if want(10) {
-			tb, _ := core.Fig10(prs)
+			tb, ratios := core.Fig10(prs)
 			fmt.Println(tb)
+			rep.addRatios("fig10", core.PMEMKVWorkloads, ratios, nil)
 		}
 	}
 
@@ -105,38 +169,53 @@ func main() {
 		fmt.Printf("paper: ~3.8%% average slowdown, 98.33%% reduction vs software encryption\n")
 		fmt.Printf("measured: %.2f%% average slowdown, %.2f%% reduction\n\n",
 			(stats.Mean(res.Ratios)-1)*100, res.Reduction*100)
+		rep.addRatios("fig11", core.WhisperWorkloads, res.Ratios, nil)
 	}
 
 	if want(12) || want(13) || want(14) {
-		prs := make(core.PairResults)
-		for _, name := range core.SyntheticWorkloads {
-			b, t, err := core.RunPair(name, core.SchemeBaseline, core.SchemeFsEncr, benchOps(name, *ops), nil)
-			if err != nil {
-				fail(err)
-			}
-			prs[name] = [2]core.Result{b, t}
+		prs, err := core.RunGroupFunc(core.SyntheticWorkloads, core.SchemeBaseline, core.SchemeFsEncr, opsFor, nil)
+		if err != nil {
+			fail(err)
 		}
 		if want(12) {
 			tb, ratios := core.Fig12(prs)
 			fmt.Println(tb)
 			fmt.Println(chart("slowdown vs baseline", core.SyntheticWorkloads, ratios))
 			fmt.Printf("paper: ~20.03%% average; measured: %.2f%%\n\n", (stats.Mean(ratios)-1)*100)
+			rep.addRatios("fig12", core.SyntheticWorkloads, ratios, prs)
 		}
 		if want(13) {
-			tb, _ := core.Fig13(prs)
+			tb, ratios := core.Fig13(prs)
 			fmt.Println(tb)
+			rep.addRatios("fig13", core.SyntheticWorkloads, ratios, nil)
 		}
 		if want(14) {
-			tb, _ := core.Fig14(prs)
+			tb, ratios := core.Fig14(prs)
 			fmt.Println(tb)
+			rep.addRatios("fig14", core.SyntheticWorkloads, ratios, nil)
 		}
 	}
 
 	if want(15) {
-		tb, _, err := core.Fig15(*ops)
+		tb, series, err := core.Fig15(*ops)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(tb)
+		if rep != nil {
+			rep.Figures = append(rep.Figures, figureJSON{
+				Figure: "fig15", Labels: core.Fig15Workloads, Series: series})
+		}
+	}
+
+	if rep != nil {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d figures)\n", *jsonPath, len(rep.Figures))
 	}
 }

@@ -1,17 +1,24 @@
-// Command fsencr-sim runs one Table II workload under one protection scheme
-// on the simulated machine and prints its measurements.
+// Command fsencr-sim runs Table II workloads under protection schemes on
+// the simulated machine and prints their measurements.
 //
 // Usage:
 //
 //	fsencr-sim -workload ycsb -scheme fsencr -ops 2500
 //	fsencr-sim -list
 //	fsencr-sim -workload dax2 -scheme baseline -ops 100000 -metacache 262144 -v
+//	fsencr-sim -workload ycsb,hashmap,ctree -scheme baseline,fsencr -parallel 4
+//
+// -workload and -scheme accept comma-separated lists; the cross product
+// of (workload × scheme) is executed as one batch on the parallel
+// experiment runner and printed in input order. Each simulation boots its
+// own system, so results are identical at any -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fsencr/internal/config"
 	"fsencr/internal/core"
@@ -34,65 +41,91 @@ func parseScheme(s string) (core.Scheme, error) {
 
 func main() {
 	var (
-		workload  = flag.String("workload", "ycsb", "Table II workload name")
-		scheme    = flag.String("scheme", "fsencr", "protection scheme: plain|baseline|fsencr|swencr")
+		workload  = flag.String("workload", "ycsb", "Table II workload name(s), comma separated")
+		scheme    = flag.String("scheme", "fsencr", "protection scheme(s), comma separated: plain|baseline|fsencr|swencr")
 		ops       = flag.Int("ops", 0, "timed operations per thread (0 = workload's bench default)")
 		seed      = flag.Uint64("seed", 1, "workload RNG seed")
 		metacache = flag.Int("metacache", 0, "metadata cache size in bytes (0 = Table III default)")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		verbose   = flag.Bool("v", false, "print the per-op breakdown")
 	)
 	flag.Parse()
+	core.Parallelism = *parallel
 
 	if *list {
 		fmt.Println(core.TableII())
 		return
 	}
 
-	sc, err := parseScheme(*scheme)
-	if err != nil {
+	fail := func(code int, err error) {
 		fmt.Fprintln(os.Stderr, "fsencr-sim:", err)
-		os.Exit(2)
-	}
-	w, err := workloads.Lookup(*workload)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fsencr-sim:", err)
-		os.Exit(2)
-	}
-	n := *ops
-	if n == 0 {
-		n = w.BenchOps
-	}
-	req := core.Request{Workload: *workload, Scheme: sc, Ops: n, Seed: *seed}
-	if *metacache != 0 {
-		cfg := config.Default()
-		cfg.Security.MetadataCacheSize = *metacache
-		req.Cfg = &cfg
+		os.Exit(code)
 	}
 
-	res, err := core.Run(req)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fsencr-sim:", err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("workload        %s (%s; %d threads; %d ops/thread)\n", res.Workload, w.Desc, w.Threads, res.Ops)
-	fmt.Printf("scheme          %s\n", res.Scheme)
-	fmt.Printf("cycles          %d\n", res.Cycles)
-	fmt.Printf("cycles/op       %.1f\n", res.CyclesPerOp())
-	fmt.Printf("nvm reads       %d\n", res.NVMReads)
-	fmt.Printf("nvm writes      %d\n", res.NVMWrites)
-	fmt.Printf("meta reads      %d\n", res.MetaReads)
-	fmt.Printf("meta writebacks %d\n", res.MetaWritebacks)
-	fmt.Printf("minor faults    %d\n", res.Faults)
-	if *verbose {
-		total := res.MetaHits + res.MetaMisses
-		if total > 0 {
-			fmt.Printf("metadata cache  %.2f%% hit (%d/%d)\n",
-				100*float64(res.MetaHits)/float64(total), res.MetaHits, total)
+	var schemes []core.Scheme
+	for _, s := range strings.Split(*scheme, ",") {
+		sc, err := parseScheme(strings.TrimSpace(s))
+		if err != nil {
+			fail(2, err)
 		}
-		if res.ReadLatMean > 0 {
-			fmt.Printf("miss latency    mean %.1f cycles, max %d\n", res.ReadLatMean, res.ReadLatMax)
+		schemes = append(schemes, sc)
+	}
+
+	var cfg *config.Config
+	if *metacache != 0 {
+		c := config.Default()
+		c.Security.MetadataCacheSize = *metacache
+		cfg = &c
+	}
+
+	// Build the (workload × scheme) batch, validating names up front.
+	var reqs []core.Request
+	var descs []*workloads.Workload
+	for _, name := range strings.Split(*workload, ",") {
+		name = strings.TrimSpace(name)
+		w, err := workloads.Lookup(name)
+		if err != nil {
+			fail(2, err)
+		}
+		n := *ops
+		if n == 0 {
+			n = w.BenchOps
+		}
+		for _, sc := range schemes {
+			reqs = append(reqs, core.Request{Workload: name, Scheme: sc, Ops: n, Seed: *seed, Cfg: cfg})
+			descs = append(descs, w)
+		}
+	}
+
+	results, err := core.RunBatch(reqs)
+	if err != nil {
+		fail(1, err)
+	}
+
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		w := descs[i]
+		fmt.Printf("workload        %s (%s; %d threads; %d ops/thread)\n", res.Workload, w.Desc, w.Threads, res.Ops)
+		fmt.Printf("scheme          %s\n", res.Scheme)
+		fmt.Printf("cycles          %d\n", res.Cycles)
+		fmt.Printf("cycles/op       %.1f\n", res.CyclesPerOp())
+		fmt.Printf("nvm reads       %d\n", res.NVMReads)
+		fmt.Printf("nvm writes      %d\n", res.NVMWrites)
+		fmt.Printf("meta reads      %d\n", res.MetaReads)
+		fmt.Printf("meta writebacks %d\n", res.MetaWritebacks)
+		fmt.Printf("minor faults    %d\n", res.Faults)
+		if *verbose {
+			total := res.MetaHits + res.MetaMisses
+			if total > 0 {
+				fmt.Printf("metadata cache  %.2f%% hit (%d/%d)\n",
+					100*float64(res.MetaHits)/float64(total), res.MetaHits, total)
+			}
+			if res.ReadLatMean > 0 {
+				fmt.Printf("miss latency    mean %.1f cycles, max %d\n", res.ReadLatMean, res.ReadLatMax)
+			}
 		}
 	}
 }

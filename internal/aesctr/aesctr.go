@@ -51,9 +51,18 @@ const (
 // Engine is one AES-CTR encryption engine (the paper instantiates a Memory
 // Encryption Engine and a File Encryption Engine; the OTT region sealing
 // uses a third with the processor-resident OTT key).
+//
+// An Engine is not safe for concurrent use: OTP generation reuses an
+// internal counter-block buffer. That matches the simulator's isolation
+// invariant — every engine belongs to exactly one memory controller, and
+// each simulated system runs on a single goroutine even when the parallel
+// experiment runner executes many systems at once.
 type Engine struct {
 	block   cipher.Block
 	latency config.Cycle
+	// ctr is the reusable counter-block buffer for OTPInto; every byte is
+	// rewritten per call, so it never needs clearing.
+	ctr [16]byte
 }
 
 // New returns an engine keyed with key. latency is the hardware AES latency
@@ -74,12 +83,13 @@ func (e *Engine) Latency() config.Cycle { return e.latency }
 // Line is one 64-byte cache line.
 type Line [config.LineSize]byte
 
-// OTP generates the 64-byte one-time pad for iv. Four AES blocks are
-// generated (64 B / 16 B); hardware runs them in parallel so the latency is
-// a single AES traversal.
-func (e *Engine) OTP(iv IV) Line {
-	var pad Line
-	var ctr [16]byte
+// OTPInto fills dst with the 64-byte one-time pad for iv. Four AES blocks
+// are generated (64 B / 16 B); hardware runs them in parallel so the
+// latency is a single AES traversal. This is the datapath's hot entry
+// point: it writes straight into the caller's buffer, sparing the 64-byte
+// return copy that OTP pays per access.
+func (e *Engine) OTPInto(dst *Line, iv IV) {
+	ctr := e.ctr[:]
 	// Major occupies bytes 11..14 (32 bits); byte 15 is the AES-block
 	// index. Memory-encryption majors are 64-bit but never overflow 32 bits
 	// within a device lifetime; the high bits are folded into the page-ID
@@ -91,24 +101,40 @@ func (e *Engine) OTP(iv IV) Line {
 	binary.LittleEndian.PutUint32(ctr[11:15], uint32(iv.Major))
 	for blk := 0; blk < config.LineSize/16; blk++ {
 		ctr[15] = byte(blk)
-		e.block.Encrypt(pad[blk*16:(blk+1)*16], ctr[:])
+		e.block.Encrypt(dst[blk*16:(blk+1)*16], ctr)
 	}
+}
+
+// OTP generates the 64-byte one-time pad for iv.
+func (e *Engine) OTP(iv IV) Line {
+	var pad Line
+	e.OTPInto(&pad, iv)
 	return pad
 }
 
-// XOR returns dst = a ^ b.
-func XOR(a, b Line) Line {
-	var out Line
-	for i := range out {
-		out[i] = a[i] ^ b[i]
+// XORInto sets dst ^= src in place, eight bytes at a lane. The memory
+// controller's per-line datapath uses it to combine and strip OTPs without
+// the three 64-byte copies per access that XOR's by-value signature forces.
+func XORInto(dst, src *Line) {
+	for i := 0; i < config.LineSize; i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:i+8]) ^ binary.LittleEndian.Uint64(src[i:i+8])
+		binary.LittleEndian.PutUint64(dst[i:i+8], v)
 	}
-	return out
+}
+
+// XOR returns a ^ b.
+func XOR(a, b Line) Line {
+	XORInto(&a, &b)
+	return a
 }
 
 // Apply encrypts or decrypts data with the pad (the operation is its own
 // inverse in CTR mode).
 func (e *Engine) Apply(data Line, iv IV) Line {
-	return XOR(data, e.OTP(iv))
+	var pad Line
+	e.OTPInto(&pad, iv)
+	XORInto(&data, &pad)
+	return data
 }
 
 // EncryptBlock16 encrypts a single 16-byte block in ECB fashion; used only

@@ -11,6 +11,7 @@ import (
 	"fsencr/internal/config"
 	"fsencr/internal/kernel"
 	"fsencr/internal/memctrl"
+	"fsencr/internal/runner"
 	"fsencr/internal/workloads"
 )
 
@@ -189,18 +190,39 @@ func Run(req Request) (Result, error) {
 	return res, nil
 }
 
+// Parallelism caps the number of worker goroutines the batch entry points
+// (RunBatch and everything built on it — RunGroup, RunPair, the figure
+// sweeps) may use. Zero or negative means one worker per CPU. The cmd
+// front-ends set it from their -parallel flag before any runs start; it is
+// not meant to be changed while a batch is in flight.
+var Parallelism = 0
+
+// RunBatch executes a batch of independent requests on a bounded worker
+// pool and returns the results in input order. Concurrency is safe because
+// every Run boots a private kernel.System — machine, stats.Set, RNGs and
+// all — so runs share no mutable state (the one cross-run global, the
+// memory controller's chip-key sequence, is atomic and never influences
+// measurements). Failures are aggregated: every request still runs, and
+// the returned error (a *runner.BatchError) names each failed index, so
+// one broken workload cannot kill a whole figure sweep.
+func RunBatch(reqs []Request) ([]Result, error) {
+	return runner.Map(Parallelism, reqs, func(_ int, r Request) (Result, error) {
+		return Run(r)
+	})
+}
+
 // RunPair runs the same workload under two schemes with identical seeds and
-// returns (base, treatment).
+// returns (base, treatment). The two runs execute concurrently when
+// Parallelism allows.
 func RunPair(workload string, base, treatment Scheme, ops int, cfg *config.Config) (Result, Result, error) {
-	b, err := Run(Request{Workload: workload, Scheme: base, Ops: ops, Cfg: cfg})
+	rs, err := RunBatch([]Request{
+		{Workload: workload, Scheme: base, Ops: ops, Cfg: cfg},
+		{Workload: workload, Scheme: treatment, Ops: ops, Cfg: cfg},
+	})
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	t, err := Run(Request{Workload: workload, Scheme: treatment, Ops: ops, Cfg: cfg})
-	if err != nil {
-		return Result{}, Result{}, err
-	}
-	return b, t, nil
+	return rs[0], rs[1], nil
 }
 
 // Ratio returns t/b for the given metric extractor. A zero-over-zero ratio

@@ -1,0 +1,64 @@
+package core
+
+import "testing"
+
+// TestParallelRunnerDeterminism is the regression gate for the parallel
+// experiment runner: a RunGroup executed strictly sequentially and one
+// fanned out over many workers must produce identical Result structs for
+// every workload — same cycles, same NVM traffic, same fault counts.
+// Per-run isolation (each Run boots a private kernel.System) is what makes
+// this hold; if a future change introduces cross-run shared state, this
+// test is designed to catch it.
+func TestParallelRunnerDeterminism(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	const ops = 200
+	names := []string{"ycsb", "hashmap", "fillrandom-s", "dax2"}
+
+	Parallelism = 1
+	seq, err := RunGroup(names, SchemeBaseline, SchemeFsEncr, ops, nil)
+	if err != nil {
+		t.Fatalf("sequential group: %v", err)
+	}
+
+	// More workers than runs, so every simulation gets its own goroutine.
+	Parallelism = 16
+	par, err := RunGroup(names, SchemeBaseline, SchemeFsEncr, ops, nil)
+	if err != nil {
+		t.Fatalf("parallel group: %v", err)
+	}
+
+	for _, name := range names {
+		for i, which := range []string{"base", "treatment"} {
+			if seq[name][i] != par[name][i] {
+				t.Errorf("%s/%s diverged:\n sequential: %+v\n parallel:   %+v",
+					name, which, seq[name][i], par[name][i])
+			}
+		}
+	}
+}
+
+// TestRunBatchOrderAndAggregation pins the batch contract the figure
+// tables rely on: results come back in input order, and a failing request
+// does not abort the rest of the batch.
+func TestRunBatchOrderAndAggregation(t *testing.T) {
+	reqs := []Request{
+		{Workload: "ycsb", Scheme: SchemeBaseline, Ops: 50},
+		{Workload: "no-such-workload", Scheme: SchemeFsEncr, Ops: 50},
+		{Workload: "dax1", Scheme: SchemeFsEncr, Ops: 50},
+	}
+	rs, err := RunBatch(reqs)
+	if err == nil {
+		t.Fatal("bad workload did not surface an error")
+	}
+	if len(rs) != len(reqs) {
+		t.Fatalf("result slice resized: %d", len(rs))
+	}
+	if rs[0].Workload != "ycsb" || rs[0].Cycles == 0 {
+		t.Fatalf("request 0 lost: %+v", rs[0])
+	}
+	if rs[2].Workload != "dax1" || rs[2].Cycles == 0 {
+		t.Fatalf("request after the failure did not run: %+v", rs[2])
+	}
+}

@@ -27,17 +27,45 @@ var (
 // PairResults maps workload -> (base result, treatment result).
 type PairResults map[string][2]Result
 
-// RunGroup runs every workload in names under (base, treatment).
+// RunGroup runs every workload in names under (base, treatment), fanning
+// the whole group out over the parallel runner.
 func RunGroup(names []string, base, treatment Scheme, ops int, cfg *config.Config) (PairResults, error) {
-	out := make(PairResults, len(names))
-	for _, name := range names {
-		b, t, err := RunPair(name, base, treatment, ops, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out[name] = [2]Result{b, t}
+	return RunGroupFunc(names, base, treatment, func(string) int { return ops }, cfg)
+}
+
+// RunGroupFunc is RunGroup with a per-workload op count (the PMEMKV S/L
+// variants differ in BenchOps, so full-scale sweeps need this form). All
+// 2*len(names) simulations are submitted as one batch so the worker pool
+// sees maximum width; assembly back into PairResults is order-independent
+// because the batch preserves input order.
+func RunGroupFunc(names []string, base, treatment Scheme, opsFor func(name string) int, cfg *config.Config) (PairResults, error) {
+	reqs := groupRequests(names, base, treatment, opsFor, cfg)
+	rs, err := RunBatch(reqs)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return assemblePairs(names, rs), nil
+}
+
+// groupRequests lays out a group sweep as [base0, treat0, base1, treat1, …].
+func groupRequests(names []string, base, treatment Scheme, opsFor func(string) int, cfg *config.Config) []Request {
+	reqs := make([]Request, 0, 2*len(names))
+	for _, name := range names {
+		ops := opsFor(name)
+		reqs = append(reqs,
+			Request{Workload: name, Scheme: base, Ops: ops, Cfg: cfg},
+			Request{Workload: name, Scheme: treatment, Ops: ops, Cfg: cfg})
+	}
+	return reqs
+}
+
+// assemblePairs inverts groupRequests's layout.
+func assemblePairs(names []string, rs []Result) PairResults {
+	out := make(PairResults, len(names))
+	for i, name := range names {
+		out[name] = [2]Result{rs[2*i], rs[2*i+1]}
+	}
+	return out
 }
 
 // minRatioBase is the smallest base-metric value for which a normalized
@@ -122,10 +150,18 @@ type Fig11Result struct {
 // the baseline, and computes the slowdown reduction versus software
 // encryption.
 func Fig11(ops int) (Fig11Result, error) {
-	prs, err := RunGroup(WhisperWorkloads, SchemeBaseline, SchemeFsEncr, ops, nil)
+	// The FsEncr and software-encryption sweeps are independent; submit
+	// them as one 4*len(workloads) batch so both fill the worker pool.
+	opsFor := func(string) int { return ops }
+	fsReqs := groupRequests(WhisperWorkloads, SchemeBaseline, SchemeFsEncr, opsFor, nil)
+	swReqs := groupRequests(WhisperWorkloads, SchemePlain, SchemeSWEncr, opsFor, nil)
+	rs, err := RunBatch(append(append([]Request{}, fsReqs...), swReqs...))
 	if err != nil {
 		return Fig11Result{}, err
 	}
+	prs := assemblePairs(WhisperWorkloads, rs[:len(fsReqs)])
+	sw := assemblePairs(WhisperWorkloads, rs[len(fsReqs):])
+
 	var out Fig11Result
 	out.Slowdown, out.Ratios = ratioTable(
 		"Figure 11a: slowdown, Whisper (normalized to baseline)",
@@ -136,11 +172,6 @@ func Fig11(ops int) (Fig11Result, error) {
 	out.Reads, _ = ratioTable(
 		"Figure 11c: number of NVM reads, Whisper (normalized to baseline)",
 		"reads", WhisperWorkloads, prs, MetricReads)
-
-	sw, err := RunGroup(WhisperWorkloads, SchemePlain, SchemeSWEncr, ops, nil)
-	if err != nil {
-		return Fig11Result{}, err
-	}
 	for _, name := range WhisperWorkloads {
 		pr := sw[name]
 		out.SWRatios = append(out.SWRatios, Ratio(pr[0], pr[1], MetricCycles))
@@ -200,21 +231,34 @@ var fig15Ops = map[string]int{
 func Fig15(opsOverride int) (*stats.Table, map[string][]float64, error) {
 	tb := stats.NewTable("Figure 15: sensitivity to metadata cache size (% slowdown over baseline)",
 		append([]string{"benchmark"}, sizeLabels()...)...)
-	series := make(map[string][]float64, len(Fig15Workloads))
+	// The whole (workload × cache size) grid is one batch of independent
+	// pairs — 2 * len(workloads) * len(sizes) simulations fanned out at
+	// once — laid out row-major so assembly below can walk it in order.
+	reqs := make([]Request, 0, 2*len(Fig15Workloads)*len(Fig15CacheSizes))
 	for _, name := range Fig15Workloads {
 		ops := opsOverride
 		if ops <= 0 {
 			ops = fig15Ops[name]
 		}
-		row := []interface{}{name}
 		for _, size := range Fig15CacheSizes {
 			cfg := config.Default()
 			cfg.Security.MetadataCacheSize = size
-			b, t, err := RunPair(name, SchemeBaseline, SchemeFsEncr, ops, &cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			pct := (Ratio(b, t, MetricCycles) - 1) * 100
+			reqs = append(reqs,
+				Request{Workload: name, Scheme: SchemeBaseline, Ops: ops, Cfg: &cfg},
+				Request{Workload: name, Scheme: SchemeFsEncr, Ops: ops, Cfg: &cfg})
+		}
+	}
+	rs, err := RunBatch(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	series := make(map[string][]float64, len(Fig15Workloads))
+	i := 0
+	for _, name := range Fig15Workloads {
+		row := []interface{}{name}
+		for range Fig15CacheSizes {
+			pct := (Ratio(rs[i], rs[i+1], MetricCycles) - 1) * 100
+			i += 2
 			series[name] = append(series[name], pct)
 			row = append(row, fmt.Sprintf("%.2f%%", pct))
 		}

@@ -13,6 +13,8 @@
 package memctrl
 
 import (
+	"sync/atomic"
+
 	"fsencr/internal/aesctr"
 	"fsencr/internal/cache"
 	"fsencr/internal/config"
@@ -76,8 +78,8 @@ type Controller struct {
 	// Osiris crash-consistency state.
 	persistedMECB map[uint64]counters.MECB
 	persistedFECB map[uint64]counters.FECB
-	unpersisted   map[uint64]int     // counter-block addr -> bumps since persist
-	ecc           map[uint64][8]byte // raw line number -> ECC-embedded check tag
+	unpersisted   map[uint64]int    // counter-block addr -> bumps since persist
+	ecc           map[uint64]uint64 // raw line number -> ECC-embedded check tag
 	crashed       bool
 
 	// Pre-crash snapshots, used only by VerifyRecovery in tests.
@@ -131,15 +133,17 @@ func (c *Controller) acceptWrite(now config.Cycle) config.Cycle {
 }
 
 // instanceSeq gives every controller distinct processor keys (fuses differ
-// chip to chip) while keeping runs deterministic: the same creation order
-// yields the same keys.
-var instanceSeq uint64
+// chip to chip). It is the only state shared across controllers, and it is
+// bumped atomically because the parallel experiment runner boots systems
+// concurrently. Key material only shapes the ciphertext bytes at rest,
+// never the measured statistics, so simulations stay deterministic even
+// though concurrent batches may assign sequence numbers in any order.
+var instanceSeq atomic.Uint64
 
 // New builds a controller in the given mode. All keys (memory key, OTT key)
 // are generated inside the "processor" and never exposed.
 func New(cfg config.Config, mode Mode, st *stats.Set) *Controller {
-	instanceSeq++
-	seq := instanceSeq
+	seq := instanceSeq.Add(1)
 	c := &Controller{
 		cfg:           cfg,
 		mode:          mode,
@@ -151,7 +155,7 @@ func New(cfg config.Config, mode Mode, st *stats.Set) *Controller {
 		persistedMECB: make(map[uint64]counters.MECB),
 		persistedFECB: make(map[uint64]counters.FECB),
 		unpersisted:   make(map[uint64]int),
-		ecc:           make(map[uint64][8]byte),
+		ecc:           make(map[uint64]uint64),
 	}
 	if mode.MemEncryption {
 		c.memEngine = aesctr.New(deriveKey("fsencr-memory-key", seq), cfg.Security.AESLatency)

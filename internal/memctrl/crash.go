@@ -96,29 +96,31 @@ func (c *Controller) Recover() error {
 		}
 
 		found := false
+		var memPad, filePad, plain aesctr.Line
 	search:
 		for dm := 0; dm <= window; dm++ {
 			mMinor := int(mecb.Minor[li]) + dm
 			if mMinor > config.MinorCounterMax {
 				break // overflows are persisted eagerly; no wrap to search
 			}
-			memPad := c.memEngine.OTP(memIV(page, li, mecb.Major, uint8(mMinor)))
+			c.memEngine.OTPInto(&memPad, memIV(page, li, mecb.Major, uint8(mMinor)))
 			fileWindow := 0
 			if isFile {
 				fileWindow = window
 			}
 			for df := 0; df <= fileWindow; df++ {
-				pad := memPad
 				var fMinor int
+				plain = cipher
+				aesctr.XORInto(&plain, &memPad)
 				if isFile {
 					fMinor = int(fecb.Minor[li]) + df
 					if fMinor > config.MinorCounterMax {
 						break
 					}
-					pad = aesctr.XOR(pad, fileEng.OTP(fileIV(page, li, fecb.Major, uint8(fMinor))))
+					fileEng.OTPInto(&filePad, fileIV(page, li, fecb.Major, uint8(fMinor)))
+					aesctr.XORInto(&plain, &filePad)
 				}
-				plain := aesctr.XOR(cipher, pad)
-				if eccTag(plain) == tag {
+				if eccTag(&plain) == tag {
 					mecb.Minor[li] = uint8(mMinor)
 					if isFile {
 						fecb.Minor[li] = uint8(fMinor)

@@ -1,7 +1,7 @@
 package memctrl
 
 import (
-	"crypto/sha256"
+	"encoding/binary"
 
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
@@ -28,7 +28,8 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 	li := la.LineInPage()
 
 	mecb, ctrReady := c.fetchMECB(now, page)
-	pad := c.memEngine.OTP(memIV(page, li, mecb.Major, mecb.Minor[li]))
+	var pad aesctr.Line
+	c.memEngine.OTPInto(&pad, memIV(page, li, mecb.Major, mecb.Minor[li]))
 	otpReady := ctrReady + c.memEngine.Latency()
 	xors := 1
 
@@ -36,8 +37,9 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 		fecb, fReady := c.fetchFECB(now, page)
 		key, kReady, ok := c.lookupKey(fReady, fecb.GroupID, fecb.FileID)
 		if ok {
-			filePad := c.engineFor(key).OTP(fileIV(page, li, fecb.Major, fecb.Minor[li]))
-			pad = aesctr.XOR(pad, filePad)
+			var filePad aesctr.Line
+			c.engineFor(key).OTPInto(&filePad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
+			aesctr.XORInto(&pad, &filePad)
 			fileOTPReady := kReady + c.cfg.Security.AESLatency
 			if fileOTPReady > otpReady {
 				otpReady = fileOTPReady
@@ -52,7 +54,8 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 	}
 
 	done := maxCycle(dataDone, otpReady) + config.Cycle(xors)*c.cfg.Security.XORLatency
-	return aesctr.XOR(cipher, pad), done
+	aesctr.XORInto(&cipher, &pad)
+	return cipher, done
 }
 
 // WriteLine services a dirty writeback (or flush) of the line containing
@@ -92,7 +95,8 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 		// never has to search across a counter wrap (§III-H).
 		c.persistCounterNow(ctrReady, mecbAddr(page))
 	}
-	pad := c.memEngine.OTP(memIV(page, li, mecb.Major, mecb.Minor[li]))
+	var pad aesctr.Line
+	c.memEngine.OTPInto(&pad, memIV(page, li, mecb.Major, mecb.Minor[li]))
 	otpReady := ctrReady + c.memEngine.Latency()
 	xors := 1
 
@@ -111,8 +115,9 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 		}
 		key, kReady, ok := c.lookupKey(fReady, fecb.GroupID, fecb.FileID)
 		if ok {
-			filePad := c.engineFor(key).OTP(fileIV(page, li, fecb.Major, fecb.Minor[li]))
-			pad = aesctr.XOR(pad, filePad)
+			var filePad aesctr.Line
+			c.engineFor(key).OTPInto(&filePad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
+			aesctr.XORInto(&pad, &filePad)
 			if r := kReady + c.cfg.Security.AESLatency; r > otpReady {
 				otpReady = r
 			}
@@ -122,14 +127,16 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 		}
 	}
 
-	cipher := aesctr.XOR(plain, pad)
+	// Osiris: the line's ECC bits carry a check tag over the plaintext, so
+	// the counter used for this write is recoverable after a crash. Taken
+	// before the in-place encryption below consumes the plaintext.
+	tag := eccTag(&plain)
+	aesctr.XORInto(&plain, &pad)
 	writeStart := otpReady + config.Cycle(xors)*c.cfg.Security.XORLatency
 	done := c.PCM.Access(writeStart, raw, true)
-	c.PCM.WriteLine(raw, cipher)
+	c.PCM.WriteLine(raw, plain)
 	c.writeQueue = append(c.writeQueue, done)
-	// Osiris: the line's ECC bits carry a check tag over the plaintext, so
-	// the counter used for this write is recoverable after a crash.
-	c.ecc[la.LineNum()] = eccTag(plain)
+	c.ecc[la.LineNum()] = tag
 	return accepted
 }
 
@@ -146,10 +153,9 @@ func (c *Controller) reencryptPageMem(now config.Cycle, page uint64, bumpLine in
 	m := c.mecb[page]
 	old := *m
 	m.Bump(bumpLine) // wraps: major++, minors reset, minor[bumpLine]=1
-	return c.reencryptLines(now, page, func(li int) (aesctr.Line, aesctr.Line) {
-		oldPad := c.memEngine.OTP(memIV(page, li, old.Major, old.Minor[li]))
-		newPad := c.memEngine.OTP(memIV(page, li, m.Major, m.Minor[li]))
-		return oldPad, newPad
+	return c.reencryptLines(now, page, func(li int, oldPad, newPad *aesctr.Line) {
+		c.memEngine.OTPInto(oldPad, memIV(page, li, old.Major, old.Minor[li]))
+		c.memEngine.OTPInto(newPad, memIV(page, li, m.Major, m.Minor[li]))
 	})
 }
 
@@ -165,24 +171,27 @@ func (c *Controller) reencryptPageFile(now config.Cycle, page uint64, bumpLine i
 		return now
 	}
 	eng := c.engineFor(key)
-	return c.reencryptLines(now, page, func(li int) (aesctr.Line, aesctr.Line) {
-		oldPad := eng.OTP(fileIV(page, li, old.Major, old.Minor[li]))
-		newPad := eng.OTP(fileIV(page, li, f.Major, f.Minor[li]))
-		return oldPad, newPad
+	return c.reencryptLines(now, page, func(li int, oldPad, newPad *aesctr.Line) {
+		eng.OTPInto(oldPad, fileIV(page, li, old.Major, old.Minor[li]))
+		eng.OTPInto(newPad, fileIV(page, li, f.Major, f.Minor[li]))
 	})
 }
 
 // reencryptLines rewrites every line of page, swapping oldPad for newPad.
-func (c *Controller) reencryptLines(now config.Cycle, page uint64, pads func(li int) (oldPad, newPad aesctr.Line)) config.Cycle {
+// The pads callback fills caller-owned buffers so the 64-line sweep works
+// without any per-line Line copies.
+func (c *Controller) reencryptLines(now config.Cycle, page uint64, pads func(li int, oldPad, newPad *aesctr.Line)) config.Cycle {
 	t := now
 	base := addr.Phys(page * config.PageSize)
+	var oldPad, newPad aesctr.Line
 	for li := 0; li < config.LinesPerPage; li++ {
 		la := base + addr.Phys(li*config.LineSize)
-		oldPad, newPad := pads(li)
+		pads(li, &oldPad, &newPad)
 		cipher := c.PCM.ReadLine(la)
 		t = c.PCM.Access(t, la, false)
-		plainMasked := aesctr.XOR(cipher, oldPad)
-		c.PCM.WriteLine(la, aesctr.XOR(plainMasked, newPad))
+		aesctr.XORInto(&cipher, &oldPad)
+		aesctr.XORInto(&cipher, &newPad)
+		c.PCM.WriteLine(la, cipher)
 		t = c.PCM.Access(t, la, true)
 	}
 	return t + 2*c.cfg.Security.AESLatency
@@ -209,13 +218,36 @@ func fileIV(page uint64, li int, major uint32, minor uint8) aesctr.IV {
 }
 
 // eccTag computes the Osiris check tag stored in a line's ECC bits: a
-// digest of the plaintext. After a crash, a candidate counter is correct
-// exactly when decrypting with it reproduces a plaintext matching the tag.
-func eccTag(plain aesctr.Line) [8]byte {
-	sum := sha256.Sum256(plain[:])
-	var t [8]byte
-	copy(t[:], sum[:8])
-	return t
+// 64-bit digest of the plaintext. After a crash, a candidate counter is
+// correct exactly when decrypting with it reproduces a plaintext matching
+// the tag.
+//
+// The tag models ECC bits, not a security boundary: integrity against an
+// adversary comes from the Merkle tree over the counters, and the tag only
+// lets recovery distinguish a handful of counter candidates (a wrong
+// candidate yields effectively random plaintext, so 64 bits of a decent
+// mixer are ample). It is therefore a word-wise FNV-1a variant with a
+// final avalanche, not SHA-256 — the hash runs once per NVM write, and a
+// cryptographic digest there cost more host time than the simulated write
+// itself.
+func eccTag(plain *aesctr.Line) uint64 {
+	const (
+		offset64 = 1469598103934665603
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < config.LineSize; i += 8 {
+		h ^= binary.LittleEndian.Uint64(plain[i : i+8])
+		h *= prime64
+	}
+	// Final avalanche (splitmix64 tail) so low-byte differences reach every
+	// tag bit.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 func maxCycle(a, b config.Cycle) config.Cycle {

@@ -38,10 +38,9 @@ func (c *Controller) RotateFileKey(now config.Cycle, pa addr.Phys, group uint32,
 	fecb.FileID = file
 	oldEng := c.engineFor(oldKey)
 	newEng := c.engineFor(newKey)
-	ready = c.reencryptLines(ready, page, func(li int) (aesctr.Line, aesctr.Line) {
-		oldPad := oldEng.OTP(fileIV(page, li, old.Major, old.Minor[li]))
-		newPad := newEng.OTP(fileIV(page, li, fecb.Major, fecb.Minor[li]))
-		return oldPad, newPad
+	ready = c.reencryptLines(ready, page, func(li int, oldPad, newPad *aesctr.Line) {
+		oldEng.OTPInto(oldPad, fileIV(page, li, old.Major, old.Minor[li]))
+		newEng.OTPInto(newPad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
 	})
 	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), encodeFECB(fecb))
 	c.persistCounterNow(ready, fecbAddr(page))
@@ -61,7 +60,7 @@ type Transport struct {
 	device    *pcm.Memory
 	mecb      map[uint64]*counters.MECB
 	fecb      map[uint64]*counters.FECB
-	ecc       map[uint64][8]byte
+	ecc       map[uint64]uint64
 	entries   []ott.Entry
 	region    *ott.Region
 }
@@ -89,7 +88,7 @@ func (c *Controller) Export() (Transport, error) {
 		vv := *v
 		fecb[k] = &vv
 	}
-	ecc := make(map[uint64][8]byte, len(c.ecc))
+	ecc := make(map[uint64]uint64, len(c.ecc))
 	for k, v := range c.ecc {
 		ecc[k] = v
 	}

@@ -1,0 +1,138 @@
+// Package runner is the bounded worker-pool behind the experiment
+// harness's batch entry points. Every figure of the evaluation replays
+// dozens of fully independent simulations — each core.Run boots its own
+// kernel.System, so runs share no mutable state — and the pool executes
+// them concurrently while preserving the exact sequential semantics the
+// figure tables depend on:
+//
+//   - results come back in input order, regardless of completion order;
+//   - a panicking item is captured (with its stack) instead of killing
+//     the process, so one broken workload cannot take down a whole sweep;
+//   - every item runs to completion even when earlier items fail, and all
+//     failures are aggregated into a single error that names each item.
+//
+// The package is deliberately generic: it knows nothing about core's
+// Request/Result types, which keeps the dependency arrow pointing from
+// the harness to the pool and not back.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Workers resolves a worker-count request: n > 0 is used as given,
+// anything else means one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ItemError records the failure of one item of a batch.
+type ItemError struct {
+	// Index is the item's position in the input slice.
+	Index int
+	Err   error
+}
+
+func (e *ItemError) Error() string { return fmt.Sprintf("item %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *ItemError) Unwrap() error { return e.Err }
+
+// BatchError aggregates every item failure of one Map call, in input
+// order.
+type BatchError struct {
+	Items []*ItemError
+}
+
+func (e *BatchError) Error() string {
+	msgs := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		msgs[i] = it.Error()
+	}
+	return fmt.Sprintf("runner: %d of batch failed: %s", len(e.Items), strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes the per-item errors to errors.Is / errors.As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Items))
+	for i, it := range e.Items {
+		out[i] = it
+	}
+	return out
+}
+
+// Map runs fn over every item on a pool of workers (see Workers) and
+// returns the results in input order. fn receives the item's index so
+// callers can label failures. A fn panic is captured and reported as that
+// item's error; remaining items still run. The error, if non-nil, is a
+// *BatchError naming every failed item; the result slice is always fully
+// populated for the items that succeeded.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	if workers <= 1 {
+		// Inline path: identical to the historical sequential loops (and
+		// what -parallel 1 pins for speedup baselines), minus early exit —
+		// errors aggregate exactly as in the concurrent path.
+		for i, item := range items {
+			results[i], errs[i] = safeCall(fn, i, item)
+		}
+		return results, gather(errs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = safeCall(fn, i, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, gather(errs)
+}
+
+// safeCall invokes fn, converting a panic into an error carrying the
+// panicking goroutine's stack.
+func safeCall[T, R any](fn func(int, T) (R, error), i int, item T) (res R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return fn(i, item)
+}
+
+// gather folds the per-index error slice into a single *BatchError (or
+// nil); walking by index keeps the aggregate deterministic.
+func gather(errs []error) error {
+	var items []*ItemError
+	for i, err := range errs {
+		if err != nil {
+			items = append(items, &ItemError{Index: i, Err: err})
+		}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	return &BatchError{Items: items}
+}

@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 4, 200} {
+		got, err := Map(workers, items, func(_ int, v int) (int, error) {
+			return v * 3, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*3)
+			}
+		}
+	}
+}
+
+func TestMapEmptyBatch(t *testing.T) {
+	got, err := Map(8, nil, func(_ int, v int) (int, error) { return v, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: got %v, %v", got, err)
+	}
+}
+
+func TestMapCapturesPanics(t *testing.T) {
+	items := []int{0, 1, 2, 3}
+	got, err := Map(2, items, func(_ int, v int) (int, error) {
+		if v == 2 {
+			panic("boom")
+		}
+		return v + 10, nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error does not name the panic: %v", err)
+	}
+	// Untouched items still completed.
+	if got[0] != 10 || got[1] != 11 || got[3] != 13 {
+		t.Fatalf("survivors lost: %v", got)
+	}
+}
+
+func TestMapAggregatesAllErrors(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	items := []int{0, 1, 2, 3, 4}
+	got, err := Map(3, items, func(i int, v int) (int, error) {
+		if v%2 == 1 {
+			return 0, fmt.Errorf("odd %d: %w", v, sentinel)
+		}
+		return v * 2, nil
+	})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BatchError, got %T: %v", err, err)
+	}
+	if len(be.Items) != 2 || be.Items[0].Index != 1 || be.Items[1].Index != 3 {
+		t.Fatalf("wrong aggregation: %v", be)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatal("errors.Is does not reach the wrapped cause")
+	}
+	// Failures must not abort the remaining items.
+	if got[4] != 8 {
+		t.Fatalf("item after failures did not run: %v", got)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(7) != 7 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("defaulted worker count must be at least 1")
+	}
+}

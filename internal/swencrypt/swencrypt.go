@@ -33,17 +33,16 @@ func (c *Cipher) CryptPage(pageIdx uint64, page []byte) {
 	if len(page) != config.PageSize {
 		panic("swencrypt: page must be 4096 bytes")
 	}
+	var pad aesctr.Line
 	for li := 0; li < config.LinesPerPage; li++ {
 		iv := aesctr.IV{
 			PageID:     pageIdx<<16 | uint64(c.ino),
 			LineInPage: uint8(li),
 			Domain:     aesctr.DomainSoftware,
 		}
-		pad := c.eng.OTP(iv)
-		seg := page[li*config.LineSize : (li+1)*config.LineSize]
-		for i := range seg {
-			seg[i] ^= pad[i]
-		}
+		c.eng.OTPInto(&pad, iv)
+		seg := (*aesctr.Line)(page[li*config.LineSize : (li+1)*config.LineSize])
+		aesctr.XORInto(seg, &pad)
 	}
 }
 
