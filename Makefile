@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench bench-json overhead-guard ci
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,37 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Hot-path microbenchmarks (datapath + crypto engine), one iteration batch
-# each — enough for before/after comparisons of the fast-path.
+# Hot-path microbenchmarks (datapath + crypto engine + kvstore), one
+# iteration batch each — enough for before/after comparisons of the
+# fast-path.
 bench:
 	$(GO) test -run '^$$' -bench 'ReadLine|WriteLine' ./internal/memctrl
 	$(GO) test -run '^$$' -bench . ./internal/aesctr
+	$(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore
 
-ci: build vet test race
+# Machine-readable perf baseline: the same hot-path benchmarks, folded
+# into BENCH_baseline.json as {"pkg.Benchmark": {iterations, ns_per_op}}
+# so later PRs can diff ns/op against this commit.
+bench-json:
+	@{ \
+	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine' ./internal/memctrl ; \
+	  $(GO) test -run '^$$' -bench . ./internal/aesctr ; \
+	  $(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore ; \
+	} | awk ' \
+	  /^pkg:/ { pkg = $$2 } \
+	  /^Benchmark/ { \
+	    name = $$1; sub(/-[0-9]+$$/, "", name); \
+	    if (!first) first = 1; else printf(",\n"); \
+	    printf("  \"%s.%s\": {\"iterations\": %s, \"ns_per_op\": %s}", pkg, name, $$2, $$3); \
+	  } \
+	  END { print "" } \
+	' | { echo '{'; cat; echo '}'; } > BENCH_baseline.json
+	@cat BENCH_baseline.json
+
+# Telemetry-overhead gate: with no registry attached (the no-op recorder)
+# the telemetry hooks on ReadLine/WriteLine must stay under 3% of the
+# op's ns/op. See TestTelemetryOverheadGuard in internal/memctrl.
+overhead-guard:
+	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run TestTelemetryOverheadGuard -v ./internal/memctrl
+
+ci: build vet test race overhead-guard

@@ -101,13 +101,21 @@ func (r *jsonReport) addRatios(figure string, names []string, ratios []float64, 
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
-		ops      = flag.Int("ops", 0, "override per-thread op count (0 = full scale)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
-		jsonPath = flag.String("json", "", "also write figure ratios and per-run results to this JSON file")
+		fig        = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+		ops        = flag.Int("ops", 0, "override per-thread op count (0 = full scale)")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		jsonPath   = flag.String("json", "", "also write figure ratios and per-run results to this JSON file")
+		metricsDir = flag.String("metrics-dir", "", "write one merged telemetry snapshot (JSON, spans stripped) per figure into this directory")
 	)
 	flag.Parse()
 	core.Parallelism = *parallel
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0755); err != nil {
+			fmt.Fprintln(os.Stderr, "fsencr-bench:", err)
+			os.Exit(1)
+		}
+		core.EnableTelemetry()
+	}
 
 	var rep *jsonReport
 	if *jsonPath != "" {
@@ -121,6 +129,32 @@ func main() {
 	}
 	opsFor := func(name string) int { return benchOps(name, *ops) }
 
+	// snapFigures drains the telemetry sink into one snapshot file per
+	// named figure (figures sharing a run group share the snapshot). The
+	// merged snapshot is deterministic at any -parallel, so these files
+	// are byte-identical across worker counts.
+	snapFigures := func(names ...string) {
+		if *metricsDir == "" || len(names) == 0 {
+			return
+		}
+		snap := core.TelemetrySnapshot().WithoutSpans()
+		for _, name := range names {
+			path := fmt.Sprintf("%s/%s.json", *metricsDir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+		core.ResetTelemetrySink()
+	}
+
 	if want(3) {
 		tb, ratios, err := core.Fig3(benchOps("ycsb", *ops))
 		if err != nil {
@@ -131,6 +165,7 @@ func main() {
 		fmt.Printf("paper: ~2.7x average, ~5x YCSB; measured: %.2fx average, %.2fx YCSB\n\n",
 			stats.Mean(ratios), ratios[0])
 		rep.addRatios("fig3", core.WhisperWorkloads, ratios, nil)
+		snapFigures("fig3")
 	}
 
 	if want(8) || want(9) || want(10) {
@@ -155,6 +190,15 @@ func main() {
 			fmt.Println(tb)
 			rep.addRatios("fig10", core.PMEMKVWorkloads, ratios, nil)
 		}
+		// Figures 8-10 are three views of one run group, so they share
+		// one snapshot.
+		var names []string
+		for _, n := range []int{8, 9, 10} {
+			if want(n) {
+				names = append(names, fmt.Sprintf("fig%d", n))
+			}
+		}
+		snapFigures(names...)
 	}
 
 	if want(11) {
@@ -170,6 +214,7 @@ func main() {
 		fmt.Printf("measured: %.2f%% average slowdown, %.2f%% reduction\n\n",
 			(stats.Mean(res.Ratios)-1)*100, res.Reduction*100)
 		rep.addRatios("fig11", core.WhisperWorkloads, res.Ratios, nil)
+		snapFigures("fig11")
 	}
 
 	if want(12) || want(13) || want(14) {
@@ -194,6 +239,14 @@ func main() {
 			fmt.Println(tb)
 			rep.addRatios("fig14", core.SyntheticWorkloads, ratios, nil)
 		}
+		// Figures 12-14 likewise share one run group and one snapshot.
+		var names []string
+		for _, n := range []int{12, 13, 14} {
+			if want(n) {
+				names = append(names, fmt.Sprintf("fig%d", n))
+			}
+		}
+		snapFigures(names...)
 	}
 
 	if want(15) {
@@ -206,6 +259,7 @@ func main() {
 			rep.Figures = append(rep.Figures, figureJSON{
 				Figure: "fig15", Labels: core.Fig15Workloads, Series: series})
 		}
+		snapFigures("fig15")
 	}
 
 	if rep != nil {

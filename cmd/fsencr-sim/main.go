@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,6 +25,19 @@ import (
 	"fsencr/internal/core"
 	"fsencr/internal/workloads"
 )
+
+// writeFileWith streams one exporter's output into path.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func parseScheme(s string) (core.Scheme, error) {
 	switch s {
@@ -49,9 +63,15 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		verbose   = flag.Bool("v", false, "print the per-op breakdown")
+
+		metricsOut = flag.String("metrics-out", "", "write the batch's merged telemetry metrics in Prometheus text format to this file")
+		traceOut   = flag.String("trace-out", "", "write the batch's spans as Chrome trace-event JSON (chrome://tracing) to this file")
 	)
 	flag.Parse()
 	core.Parallelism = *parallel
+	if *metricsOut != "" || *traceOut != "" {
+		core.EnableTelemetry()
+	}
 
 	if *list {
 		fmt.Println(core.TableII())
@@ -101,6 +121,20 @@ func main() {
 	results, err := core.RunBatch(reqs)
 	if err != nil {
 		fail(1, err)
+	}
+
+	if *metricsOut != "" || *traceOut != "" {
+		snap := core.TelemetrySnapshot()
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, snap.WritePrometheus); err != nil {
+				fail(1, err)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, snap.WriteChromeTrace); err != nil {
+				fail(1, err)
+			}
+		}
 	}
 
 	for i, res := range results {

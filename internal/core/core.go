@@ -12,6 +12,7 @@ import (
 	"fsencr/internal/kernel"
 	"fsencr/internal/memctrl"
 	"fsencr/internal/runner"
+	"fsencr/internal/telemetry"
 	"fsencr/internal/workloads"
 )
 
@@ -111,6 +112,10 @@ type Result struct {
 	ReadLatMax  uint64
 	// Ops echoes the per-thread operation count.
 	Ops int
+	// Telemetry is the run's telemetry snapshot (nil unless telemetry
+	// collection is enabled; see EnableTelemetry). Omitted from JSON
+	// results — export it through the snapshot writers instead.
+	Telemetry *telemetry.Snapshot `json:"-"`
 }
 
 // CyclesPerOp returns average cycles per timed operation.
@@ -140,6 +145,13 @@ func Run(req Request) (Result, error) {
 	}
 
 	sys := kernel.Boot(cfg, req.Scheme.MCMode(), req.Scheme.AccessMode())
+	var reg *telemetry.Registry
+	if TelemetryEnabled() {
+		// A private registry per run: the system is driven by a single
+		// goroutine, so everything recorded is deterministic.
+		reg = telemetry.New()
+		sys.Instrument(reg)
+	}
 	env := workloads.NewEnv(sys, w.Threads, req.Ops, req.Scheme.FilesEncrypted(), seed)
 	if err := w.Setup(env); err != nil {
 		return Result{}, fmt.Errorf("core: %s/%s setup: %w", req.Workload, req.Scheme, err)
@@ -184,6 +196,16 @@ func Run(req Request) (Result, error) {
 		ReadLatMax:     m.ReadLatency.Max(),
 		Ops:            req.Ops,
 	}
+	if reg != nil {
+		reg.Span("run", fmt.Sprintf("%s/%s", req.Workload, req.Scheme),
+			uint64(start), uint64(m.MaxCoreTime()), 0)
+		snap := reg.Snapshot()
+		// Fold the whole-run legacy stats counters into the snapshot so the
+		// stats.Set and telemetry-native metrics export through one pipe
+		// (the name spaces are disjoint, so nothing double-counts).
+		snap.AddCounters(after)
+		res.Telemetry = snap
+	}
 	if v := m.MC.IntegrityViolations(); v != 0 {
 		return res, fmt.Errorf("core: %d integrity violations during %s/%s", v, req.Workload, req.Scheme)
 	}
@@ -206,9 +228,20 @@ var Parallelism = 0
 // the returned error (a *runner.BatchError) names each failed index, so
 // one broken workload cannot kill a whole figure sweep.
 func RunBatch(reqs []Request) ([]Result, error) {
-	return runner.Map(Parallelism, reqs, func(_ int, r Request) (Result, error) {
+	rs, err := runner.Map(Parallelism, reqs, func(_ int, r Request) (Result, error) {
 		return Run(r)
 	})
+	if TelemetryEnabled() {
+		// Merge per-run snapshots into the sink in *input* order — never
+		// completion order — so the aggregate is identical at any
+		// Parallelism. Failed runs carry a nil snapshot; Merge skips them.
+		snaps := make([]*telemetry.Snapshot, len(rs))
+		for i := range rs {
+			snaps[i] = rs[i].Telemetry
+		}
+		mergeTelemetry(snaps)
+	}
+	return rs, err
 }
 
 // RunPair runs the same workload under two schemes with identical seeds and

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+
+	"fsencr/internal/telemetry"
+)
+
+// Telemetry collection is opt-in: when enabled, every Run boots its system
+// with a private telemetry registry (single-goroutine, so recording is
+// race-free and deterministic), snapshots it at the end of the run, and
+// RunBatch merges the per-run snapshots into a process-wide sink in batch
+// input order. Because every recorded value derives from simulated cycles
+// and the merge order is the input order — never completion order — the
+// merged sink is byte-identical at any Parallelism.
+var (
+	telMu      sync.Mutex
+	telEnabled bool
+	telSink    = telemetry.NewSnapshot()
+)
+
+// EnableTelemetry turns on per-run telemetry collection and clears the sink.
+func EnableTelemetry() {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telEnabled = true
+	telSink = telemetry.NewSnapshot()
+}
+
+// TelemetryEnabled reports whether runs collect telemetry.
+func TelemetryEnabled() bool {
+	telMu.Lock()
+	defer telMu.Unlock()
+	return telEnabled
+}
+
+// ResetTelemetrySink clears the merged sink (e.g. between per-figure
+// sections of a bench sweep) without touching the enabled flag.
+func ResetTelemetrySink() {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telSink = telemetry.NewSnapshot()
+}
+
+// TelemetrySnapshot returns an independent copy of the merged sink.
+func TelemetrySnapshot() *telemetry.Snapshot {
+	telMu.Lock()
+	defer telMu.Unlock()
+	s := telemetry.NewSnapshot()
+	s.Merge(telSink)
+	s.Runs = telSink.Runs // Merge treats 0 as 1; preserve an empty sink's 0
+	return s
+}
+
+// mergeTelemetry folds per-run snapshots into the sink, in slice order.
+func mergeTelemetry(snaps []*telemetry.Snapshot) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	if !telEnabled {
+		return
+	}
+	for _, s := range snaps {
+		telSink.Merge(s)
+	}
+}

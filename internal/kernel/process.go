@@ -122,6 +122,12 @@ func (p *Process) pageFault(va addr.Virt) error {
 		return err
 	}
 	p.MinorFaults++
+	s.tPageFaults.Inc()
+	faultStart := p.core.Now
+	defer func() {
+		s.tFaultCycles.Observe(uint64(p.core.Now - faultStart))
+		s.tel.Span("kernel", "page_fault", uint64(faultStart), uint64(p.core.Now), p.core.ID())
+	}()
 	p.core.Compute(s.cfg.Kernel.PageFaultLatency)
 	vp := va.PageNum()
 

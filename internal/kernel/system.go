@@ -12,6 +12,7 @@ import (
 	"fsencr/internal/memctrl"
 	"fsencr/internal/pagecache"
 	"fsencr/internal/swencrypt"
+	"fsencr/internal/telemetry"
 )
 
 // AccessMode selects how file pages reach applications.
@@ -70,7 +71,23 @@ type System struct {
 	freeFrames []addr.Phys                  // recycled page-cache frames
 	anonNext   uint64
 	procs      []*Process
+
+	tel          *telemetry.Registry
+	tPageFaults  *telemetry.Counter
+	tFaultCycles *telemetry.Histogram
 }
+
+// Instrument attaches a telemetry registry to the system and the machine
+// below it. A nil registry detaches.
+func (s *System) Instrument(reg *telemetry.Registry) {
+	s.tel = reg
+	s.tPageFaults = reg.Counter("kernel.page_faults")
+	s.tFaultCycles = reg.Histogram("kernel.page_fault_cycles")
+	s.M.Instrument(reg)
+}
+
+// Telemetry returns the attached registry (nil when uninstrumented).
+func (s *System) Telemetry() *telemetry.Registry { return s.tel }
 
 // Kernel-level errors.
 var (

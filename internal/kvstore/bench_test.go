@@ -1,0 +1,62 @@
+package kvstore
+
+import (
+	"testing"
+
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+	"fsencr/internal/pmem"
+)
+
+// mkBenchTree boots a full FsEncr system (memory + file encryption) and
+// returns a B-tree on a DAX pool, so the benchmarks time the real hot
+// path: B-tree logic plus the simulated memory-controller datapath.
+func mkBenchTree(b *testing.B, poolMB int) *BTree {
+	b.Helper()
+	s := kernel.Boot(config.Default(), memctrl.Mode{MemEncryption: true, FileEncryption: true}, kernel.ModeDAX)
+	p := s.NewProcess(1000, 100)
+	size := uint64(poolMB) << 20
+	f, err := s.CreateFile(p, "kv", 0600, size, true, "pw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := pmem.Create(p, f, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Create(pool, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := mkBenchTree(b, 512)
+	v := val(7, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(uint64(i), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := mkBenchTree(b, 64)
+	const records = 4096
+	v := val(7, 64)
+	for k := uint64(0); k < records; k++ {
+		if err := tr.Put(k, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(i)%records, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

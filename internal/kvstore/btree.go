@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"fsencr/internal/pmem"
+	"fsencr/internal/telemetry"
 )
 
 // Order is the B+Tree fan-out: max keys per node.
@@ -39,6 +40,25 @@ const (
 type BTree struct {
 	pool     *pmem.Pool
 	rootSlot int
+
+	tel  *telemetry.Registry
+	tPut *telemetry.Histogram
+	tGet *telemetry.Histogram
+}
+
+// Instrument attaches telemetry handles for per-op latency histograms and
+// spans. A nil registry detaches.
+func (t *BTree) Instrument(reg *telemetry.Registry) {
+	t.tel = reg
+	t.tPut = reg.Histogram("kvstore.put_cycles")
+	t.tGet = reg.Histogram("kvstore.get_cycles")
+}
+
+// opSpan records one completed operation against this tree's clock.
+func (t *BTree) opSpan(name string, h *telemetry.Histogram, start uint64) {
+	end := uint64(t.pool.Proc().Now())
+	h.Observe(end - start)
+	t.tel.Span("kvstore", name, start, end, t.pool.Proc().Core().ID())
 }
 
 // ErrNotFound is returned by Get for missing keys.
@@ -166,6 +186,9 @@ func (t *BTree) readValue(off uint64, buf []byte) (int, error) {
 
 // Put inserts or overwrites key with val.
 func (t *BTree) Put(key uint64, val []byte) error {
+	if t.tel != nil {
+		defer t.opSpan("put", t.tPut, uint64(t.pool.Proc().Now()))
+	}
 	rootOff, err := t.root()
 	if err != nil {
 		return err
@@ -349,6 +372,9 @@ func (t *BTree) insertLeaf(n *node, key uint64, val []byte) (uint64, uint64, err
 
 // Get reads key's value into buf, returning the value length.
 func (t *BTree) Get(key uint64, buf []byte) (int, error) {
+	if t.tel != nil {
+		defer t.opSpan("get", t.tGet, uint64(t.pool.Proc().Now()))
+	}
 	off, err := t.root()
 	if err != nil {
 		return 0, err
@@ -416,9 +442,12 @@ func (t *BTree) Scan(from uint64, buf []byte, fn func(key uint64, val []byte) bo
 	}
 }
 
-// View returns the same tree bound to another thread's pool view.
+// View returns the same tree bound to another thread's pool view. The
+// view inherits the tree's telemetry handles.
 func (t *BTree) View(pool *pmem.Pool) *BTree {
-	return &BTree{pool: pool, rootSlot: t.rootSlot}
+	v := *t
+	v.pool = pool
+	return &v
 }
 
 // Delete removes key from the tree, returning whether it was present.

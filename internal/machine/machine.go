@@ -21,6 +21,7 @@ import (
 	"fsencr/internal/config"
 	"fsencr/internal/memctrl"
 	"fsencr/internal/stats"
+	"fsencr/internal/telemetry"
 )
 
 type lineBuf struct {
@@ -52,6 +53,15 @@ type Machine struct {
 
 	// flushIssue is the pipeline cost of issuing one CLWB.
 	flushIssue config.Cycle
+
+	tMissCycles *telemetry.Histogram
+}
+
+// Instrument attaches a telemetry registry to the machine and the whole
+// memory side below it. A nil registry detaches.
+func (m *Machine) Instrument(reg *telemetry.Registry) {
+	m.tMissCycles = reg.Histogram("machine.read_miss_cycles")
+	m.MC.Instrument(reg)
 }
 
 // SetTracer installs (or removes, with nil) a memory-operation tracer.
@@ -127,6 +137,7 @@ func (m *Machine) access(co *Core, la addr.Phys, write bool) *lineBuf {
 		reqAt := co.Now + p.L1Latency + p.L2Latency + p.L3Latency
 		data, done := m.MC.ReadLine(reqAt, la)
 		m.ReadLatency.Observe(uint64(done - co.Now))
+		m.tMissCycles.Observe(uint64(done - co.Now))
 		co.Now = done
 		if _, ok := m.lines[la]; !ok {
 			m.lines[la] = &lineBuf{data: data}

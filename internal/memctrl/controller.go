@@ -23,6 +23,7 @@ import (
 	"fsencr/internal/ott"
 	"fsencr/internal/pcm"
 	"fsencr/internal/stats"
+	"fsencr/internal/telemetry"
 )
 
 // Physical layout of the metadata structures. Data lives below MetaBase;
@@ -99,6 +100,14 @@ type Controller struct {
 	writeQueue []config.Cycle
 
 	violations uint64
+
+	// Telemetry. All nil (no-op) until Instrument is called.
+	tel          *telemetry.Registry
+	tReadCycles  *telemetry.Histogram
+	tWriteAccept *telemetry.Histogram
+	tMetaFetch   *telemetry.Histogram
+	tBMTWalk     *telemetry.Histogram
+	tKeyLookup   *telemetry.Histogram
 }
 
 // writeQueueDepth is the number of in-flight writes the controller buffers.

@@ -54,6 +54,7 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 	}
 
 	done := maxCycle(dataDone, otpReady) + config.Cycle(xors)*c.cfg.Security.XORLatency
+	c.tReadCycles.Observe(uint64(done - now))
 	aesctr.XORInto(&cipher, &pad)
 	return cipher, done
 }
@@ -137,6 +138,7 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 	c.PCM.WriteLine(raw, plain)
 	c.writeQueue = append(c.writeQueue, done)
 	c.ecc[la.LineNum()] = tag
+	c.tWriteAccept.Observe(uint64(accepted - now))
 	return accepted
 }
 
@@ -153,10 +155,12 @@ func (c *Controller) reencryptPageMem(now config.Cycle, page uint64, bumpLine in
 	m := c.mecb[page]
 	old := *m
 	m.Bump(bumpLine) // wraps: major++, minors reset, minor[bumpLine]=1
-	return c.reencryptLines(now, page, func(li int, oldPad, newPad *aesctr.Line) {
+	done := c.reencryptLines(now, page, func(li int, oldPad, newPad *aesctr.Line) {
 		c.memEngine.OTPInto(oldPad, memIV(page, li, old.Major, old.Minor[li]))
 		c.memEngine.OTPInto(newPad, memIV(page, li, m.Major, m.Minor[li]))
 	})
+	c.span("memctrl", "reencrypt_mem", uint64(now), uint64(done))
+	return done
 }
 
 // reencryptPageFile handles a file-side minor overflow, analogous to
@@ -171,10 +175,12 @@ func (c *Controller) reencryptPageFile(now config.Cycle, page uint64, bumpLine i
 		return now
 	}
 	eng := c.engineFor(key)
-	return c.reencryptLines(now, page, func(li int, oldPad, newPad *aesctr.Line) {
+	done := c.reencryptLines(now, page, func(li int, oldPad, newPad *aesctr.Line) {
 		eng.OTPInto(oldPad, fileIV(page, li, old.Major, old.Minor[li]))
 		eng.OTPInto(newPad, fileIV(page, li, f.Major, f.Minor[li]))
 	})
+	c.span("memctrl", "reencrypt_file", uint64(now), uint64(done))
+	return done
 }
 
 // reencryptLines rewrites every line of page, swapping oldPad for newPad.

@@ -1,0 +1,34 @@
+package memctrl
+
+import "fsencr/internal/telemetry"
+
+// Instrument attaches a telemetry registry to the controller and to every
+// structure it owns (PCM, OTT table + region, Merkle tree). A nil registry
+// detaches everything; all handles degrade to no-ops, which is the
+// compiled-out configuration.
+func (c *Controller) Instrument(reg *telemetry.Registry) {
+	c.tel = reg
+	c.tReadCycles = reg.Histogram("mc.read_cycles")
+	c.tWriteAccept = reg.Histogram("mc.write_accept_cycles")
+	c.tMetaFetch = reg.Histogram("mc.meta_fetch_cycles")
+	c.tBMTWalk = reg.Histogram("mc.bmt_walk_depth")
+	c.tKeyLookup = reg.Histogram("mc.key_lookup_cycles")
+
+	c.PCM.Instrument(reg)
+	if c.ottTable != nil {
+		c.ottTable.Instrument(reg)
+	}
+	if c.ottRegion != nil {
+		c.ottRegion.Instrument(reg)
+	}
+	if c.mt != nil {
+		c.mt.Instrument(reg)
+	}
+}
+
+// span records a controller-side span; no-op when uninstrumented. The
+// controller has no notion of which core issued a request, so its spans run
+// on tid 0.
+func (c *Controller) span(cat, name string, start, end uint64) {
+	c.tel.Span(cat, name, start, end, 0)
+}

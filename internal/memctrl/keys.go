@@ -16,6 +16,7 @@ func (c *Controller) lookupKey(now config.Cycle, group uint32, file uint16) (aes
 	ready := now + c.cfg.Security.OTTLookupLatency
 	if key, ok := c.ottTable.Lookup(group, file); ok {
 		c.st.Inc("mc.ott_hits")
+		c.tKeyLookup.Observe(uint64(ready - now))
 		return key, ready, true
 	}
 	c.st.Inc("mc.ott_misses")
@@ -25,6 +26,8 @@ func (c *Controller) lookupKey(now config.Cycle, group uint32, file uint16) (aes
 	ready = c.fetchMeta(ready, ottBucketAddr(bucket), ottLeaf(bucket), c.ottBucketContent(bucket))
 	// Unsealing costs two AES block traversals plus the hashed-index math.
 	ready += 2*c.cfg.Security.AESLatency + c.cfg.Security.OTTRegionLatencyExtra
+	c.span("ott", "region_probe", uint64(now), uint64(ready))
+	c.tKeyLookup.Observe(uint64(ready - now))
 	if !found {
 		return aesctr.Key{}, ready, false
 	}

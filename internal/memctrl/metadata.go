@@ -28,6 +28,7 @@ func (c *Controller) fetchMeta(now config.Cycle, metaAddr uint64, leaf int, cont
 			c.st.Inc("mc.integrity_violations")
 		}
 		ready += c.cfg.Security.MACLatency
+		walked := uint64(0)
 		for _, n := range c.mt.PathNodes(leaf) {
 			na := mtNodeAddr(n)
 			if c.mcacheFor(na).Lookup(na, false) {
@@ -35,12 +36,15 @@ func (c *Controller) fetchMeta(now config.Cycle, metaAddr uint64, leaf int, cont
 				break
 			}
 			c.st.Inc("mc.mt_misses")
+			walked++
 			ready = c.PCM.Access(ready, addr.Phys(na), false) + c.cfg.Security.MACLatency
 			c.st.Inc("mc.meta_reads")
 			c.insertMeta(ready, na, false)
 		}
+		c.tBMTWalk.Observe(walked)
 	}
 	c.insertMeta(ready, metaAddr, false)
+	c.tMetaFetch.Observe(uint64(ready - now))
 	return ready
 }
 

@@ -1,0 +1,79 @@
+package memctrl
+
+import (
+	"testing"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/config"
+	"fsencr/internal/stats"
+	"fsencr/internal/telemetry"
+)
+
+// snapCounter reads one telemetry counter out of a fresh snapshot.
+func snapCounter(reg *telemetry.Registry, name string) uint64 {
+	return reg.Snapshot().Counters[name]
+}
+
+// TestOTTOverflowEvictsAndRefills drives the OTT overflow path end to end
+// with a deliberately tiny on-chip table: the third key install evicts the
+// LRU entry into the encrypted OTT region, a later access to the evicted
+// file's page misses the table, probes the region, and refills the table,
+// after which the next access hits on chip again. The region probe counts
+// are asserted through the telemetry counters.
+func TestOTTOverflowEvictsAndRefills(t *testing.T) {
+	cfg := config.Default()
+	cfg.Security.OTTBanks = 1
+	cfg.Security.OTTEntriesPerBank = 2
+	c := New(cfg, Mode{MemEncryption: true, FileEncryption: true}, stats.NewSet())
+	reg := telemetry.New()
+	c.Instrument(reg)
+
+	const group = 3
+	pa := addr.Phys(0x40000).WithDF()
+	now := c.InstallKey(0, group, 1, fileKey(1))
+	now = c.TagPage(now, pa, group, 1)
+	now = c.WriteLine(now, pa, lineOf(7))
+
+	// Fill the 2-entry table past capacity: file 1 is LRU and is sealed
+	// into the encrypted region.
+	now = c.InstallKey(now, group, 2, fileKey(2))
+	now = c.InstallKey(now, group, 3, fileKey(3))
+
+	if got := snapCounter(reg, "ott.table_evictions"); got != 1 {
+		t.Fatalf("evictions after overflow: got %d, want 1", got)
+	}
+	// Every install writes through to the region (3) plus the sealed
+	// eviction victim (1).
+	if got := snapCounter(reg, "ott.region_stores"); got != 4 {
+		t.Fatalf("region stores: got %d, want 4", got)
+	}
+
+	// Reading the evicted file's line must miss on chip, probe the
+	// region, hit there, and refill the table.
+	probes := snapCounter(reg, "ott.region_probes")
+	hits := snapCounter(reg, "ott.region_probe_hits")
+	got, now := c.ReadLine(now, pa)
+	if got != lineOf(7) {
+		t.Fatal("refilled key failed to decrypt the evicted file's line")
+	}
+	if d := snapCounter(reg, "ott.region_probes") - probes; d != 1 {
+		t.Fatalf("region probes on evicted lookup: got +%d, want +1", d)
+	}
+	if d := snapCounter(reg, "ott.region_probe_hits") - hits; d != 1 {
+		t.Fatalf("region probe hits on evicted lookup: got +%d, want +1", d)
+	}
+
+	// The refill put file 1 back on chip: the next read resolves there
+	// without touching the region again.
+	probes = snapCounter(reg, "ott.region_probes")
+	tableHits := snapCounter(reg, "ott.table_hits")
+	if got, _ = c.ReadLine(now, pa); got != lineOf(7) {
+		t.Fatal("second read after refill failed")
+	}
+	if d := snapCounter(reg, "ott.region_probes") - probes; d != 0 {
+		t.Fatalf("region probed after refill: got +%d, want +0", d)
+	}
+	if d := snapCounter(reg, "ott.table_hits") - tableHits; d == 0 {
+		t.Fatal("refilled entry did not hit the on-chip table")
+	}
+}

@@ -1,0 +1,71 @@
+package memctrl
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"fsencr/internal/telemetry"
+)
+
+// benchNilHist lives at package scope so the compiler cannot prove it nil
+// and fold the no-op Observe away: the guard must time the branch the real
+// call sites take when no registry is attached.
+var benchNilHist *telemetry.Histogram
+
+// maxHooksPerLineOp bounds how many telemetry recordings a single
+// ReadLine/WriteLine can reach (latency histogram, metadata fetch, BMT
+// walk depth, key lookup, PCM service + queue, spans), with slack for
+// future hooks.
+const maxHooksPerLineOp = 16
+
+// TestTelemetryOverheadGuard is the CI overhead gate (make overhead-guard):
+// with no registry attached every telemetry handle is nil and each hook
+// must cost one predictable branch, so maxHooksPerLineOp no-op recordings
+// may not amount to more than 3% of an uninstrumented ReadLine/WriteLine.
+// If the no-op path ever grows a lock, an allocation, or an interface
+// call, the measured per-hook cost jumps and this fails. Skipped unless
+// FSENCR_OVERHEAD_GUARD=1: it runs real benchmarks and takes seconds.
+func TestTelemetryOverheadGuard(t *testing.T) {
+	if os.Getenv("FSENCR_OVERHEAD_GUARD") == "" {
+		t.Skip("set FSENCR_OVERHEAD_GUARD=1 (or run `make overhead-guard`) to enable")
+	}
+
+	// Sub-nanosecond resolution matters here: the no-op hook costs a
+	// fraction of a nanosecond, which BenchmarkResult.NsPerOp truncates
+	// to zero.
+	best := func(bench func(b *testing.B)) float64 {
+		v := math.MaxFloat64
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(bench)
+			if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < v {
+				v = ns
+			}
+		}
+		return v
+	}
+
+	nilObserve := best(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchNilHist.Observe(uint64(i))
+		}
+	})
+	budget := nilObserve * maxHooksPerLineOp
+
+	for _, op := range []struct {
+		name  string
+		bench func(b *testing.B)
+	}{
+		{"ReadLine", BenchmarkReadLine},
+		{"WriteLine", BenchmarkWriteLine},
+	} {
+		opNs := best(op.bench)
+		limit := 0.03 * opNs
+		t.Logf("%s: %.1f ns/op; %d no-op hooks cost %.2f ns (limit %.2f ns)",
+			op.name, opNs, maxHooksPerLineOp, budget, limit)
+		if budget > limit {
+			t.Errorf("%s: no-op telemetry budget %.2f ns exceeds 3%% of %.1f ns/op",
+				op.name, budget, opNs)
+		}
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+
+	"fsencr/internal/telemetry"
 )
 
 // Hash is a tree node digest.
@@ -26,6 +28,19 @@ type Tree struct {
 	levels   int
 	nodes    []map[int]Hash // one sparse map per level
 	defaults []Hash         // default hash of an untouched node per level
+
+	tVerifies  *telemetry.Counter
+	tVerFails  *telemetry.Counter
+	tUpdates   *telemetry.Counter
+	tHashDepth *telemetry.Histogram
+}
+
+// Instrument attaches telemetry handles. A nil registry detaches.
+func (t *Tree) Instrument(reg *telemetry.Registry) {
+	t.tVerifies = reg.Counter("merkle.verifies")
+	t.tVerFails = reg.Counter("merkle.verify_failures")
+	t.tUpdates = reg.Counter("merkle.updates")
+	t.tHashDepth = reg.Histogram("merkle.hash_depth")
 }
 
 // New builds an all-default tree with the given arity and level count
@@ -111,6 +126,8 @@ func (t *Tree) checkLeaf(idx int) {
 // Update re-hashes leaf idx with the new content and propagates to the root.
 func (t *Tree) Update(idx int, content []byte) {
 	t.checkLeaf(idx)
+	t.tUpdates.Inc()
+	t.tHashDepth.Observe(uint64(t.levels - 1))
 	t.nodes[0][idx] = hashLeaf(content)
 	for lvl := 1; lvl < t.levels; lvl++ {
 		idx /= t.arity
@@ -122,18 +139,25 @@ func (t *Tree) Update(idx int, content []byte) {
 // that the recorded path is consistent up to the root. It returns false on
 // any mismatch (tampered or replayed metadata).
 func (t *Tree) Verify(idx int, content []byte) bool {
+	t.tVerifies.Inc()
 	if idx < 0 || idx >= t.NumLeaves() {
+		t.tVerFails.Inc()
 		return false
 	}
 	if hashLeaf(content) != t.node(0, idx) {
+		t.tVerFails.Inc()
+		t.tHashDepth.Observe(0)
 		return false
 	}
 	for lvl := 1; lvl < t.levels; lvl++ {
 		idx /= t.arity
 		if t.hashChildren(lvl, idx) != t.node(lvl, idx) {
+			t.tVerFails.Inc()
+			t.tHashDepth.Observe(uint64(lvl))
 			return false
 		}
 	}
+	t.tHashDepth.Observe(uint64(t.levels - 1))
 	return true
 }
 

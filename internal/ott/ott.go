@@ -11,6 +11,7 @@ package ott
 
 import (
 	"fsencr/internal/aesctr"
+	"fsencr/internal/telemetry"
 )
 
 // Entry is one OTT record.
@@ -35,6 +36,22 @@ type Table struct {
 	Misses    uint64
 	Evictions uint64
 	Inserts   uint64
+
+	tHits      *telemetry.Counter
+	tMisses    *telemetry.Counter
+	tEvictions *telemetry.Counter
+	tInserts   *telemetry.Counter
+	tOccupancy *telemetry.Gauge
+}
+
+// Instrument attaches telemetry handles. A nil registry detaches (all
+// handles become no-ops).
+func (t *Table) Instrument(reg *telemetry.Registry) {
+	t.tHits = reg.Counter("ott.table_hits")
+	t.tMisses = reg.Counter("ott.table_misses")
+	t.tEvictions = reg.Counter("ott.table_evictions")
+	t.tInserts = reg.Counter("ott.table_inserts")
+	t.tOccupancy = reg.Gauge("ott.table_occupancy")
 }
 
 // NewTable builds an OTT with banks*perBank entries.
@@ -67,10 +84,12 @@ func (t *Table) Lookup(group uint32, file uint16) (aesctr.Key, bool) {
 		if s.valid && s.e.Group == group && s.e.File == file {
 			s.lastUse = t.clock
 			t.Hits++
+			t.tHits.Inc()
 			return s.e.Key, true
 		}
 	}
 	t.Misses++
+	t.tMisses.Inc()
 	return aesctr.Key{}, false
 }
 
@@ -80,6 +99,10 @@ func (t *Table) Lookup(group uint32, file uint16) (aesctr.Key, bool) {
 func (t *Table) Insert(e Entry) (evicted Entry, hasEvict bool) {
 	t.clock++
 	t.Inserts++
+	t.tInserts.Inc()
+	if t.tOccupancy != nil {
+		defer func() { t.tOccupancy.Set(uint64(t.Len())) }()
+	}
 	var victim *slot
 	for i := range t.slots {
 		s := &t.slots[i]
@@ -102,6 +125,7 @@ func (t *Table) Insert(e Entry) (evicted Entry, hasEvict bool) {
 		evicted = victim.e
 		hasEvict = true
 		t.Evictions++
+		t.tEvictions.Inc()
 	}
 	victim.e = e
 	victim.valid = true

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"fsencr/internal/aesctr"
+	"fsencr/internal/telemetry"
 )
 
 // SealedSize is the size of one sealed OTT record in the encrypted OTT
@@ -26,6 +27,19 @@ type Region struct {
 
 	Lookups uint64
 	Stores  uint64
+
+	tProbes    *telemetry.Counter
+	tProbeHits *telemetry.Counter
+	tStores    *telemetry.Counter
+	tUnseals   *telemetry.Histogram
+}
+
+// Instrument attaches telemetry handles. A nil registry detaches.
+func (r *Region) Instrument(reg *telemetry.Registry) {
+	r.tProbes = reg.Counter("ott.region_probes")
+	r.tProbeHits = reg.Counter("ott.region_probe_hits")
+	r.tStores = reg.Counter("ott.region_stores")
+	r.tUnseals = reg.Histogram("ott.region_unseals_per_probe")
 }
 
 const sealedMagic = 0x5EA1
@@ -106,6 +120,7 @@ func (r *Region) open(s Sealed, bucket int) (Entry, error) {
 // controller can account the NVM write.
 func (r *Region) Store(e Entry) int {
 	r.Stores++
+	r.tStores.Inc()
 	b := r.Bucket(e.Group, e.File)
 	sealed := r.seal(e, b)
 	for i, s := range r.table[b] {
@@ -123,12 +138,16 @@ func (r *Region) Store(e Entry) int {
 // whether it was found.
 func (r *Region) Lookup(group uint32, file uint16) (Entry, int, bool) {
 	r.Lookups++
+	r.tProbes.Inc()
 	b := r.Bucket(group, file)
-	for _, s := range r.table[b] {
+	for i, s := range r.table[b] {
 		if e, err := r.open(s, b); err == nil && e.Group == group && e.File == file {
+			r.tProbeHits.Inc()
+			r.tUnseals.Observe(uint64(i + 1))
 			return e, b, true
 		}
 	}
+	r.tUnseals.Observe(uint64(len(r.table[b])))
 	return Entry{}, b, false
 }
 

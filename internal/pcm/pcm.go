@@ -14,6 +14,7 @@ import (
 	"fsencr/internal/aesctr"
 	"fsencr/internal/config"
 	"fsencr/internal/stats"
+	"fsencr/internal/telemetry"
 )
 
 type bank struct {
@@ -35,6 +36,19 @@ type Memory struct {
 	banks   []bank
 	frames  map[uint64]*[config.PageSize]byte
 	st      *stats.Set
+
+	// Telemetry-native distributions; the event counts themselves stay in
+	// the stats.Set ("pcm.row_hits", ...) and are folded into the exported
+	// snapshot by the harness, so these carry only what stats cannot:
+	// per-access latency shape.
+	tService *telemetry.Histogram
+	tQueue   *telemetry.Histogram
+}
+
+// Instrument attaches telemetry handles. A nil registry detaches.
+func (m *Memory) Instrument(reg *telemetry.Registry) {
+	m.tService = reg.Histogram("pcm.service_cycles")
+	m.tQueue = reg.Histogram("pcm.queue_delay_cycles")
 }
 
 // New builds a PCM device from the configuration, reporting traffic into st.
@@ -88,6 +102,7 @@ func (m *Memory) Access(now config.Cycle, pa addr.Phys, write bool) config.Cycle
 		start = b.readyAt
 		m.st.Inc("pcm.bank_conflicts")
 	}
+	m.tQueue.Observe(uint64(start - now))
 
 	var service config.Cycle
 	rowHit := b.rowValid && b.openRow == d.Row
@@ -116,6 +131,7 @@ func (m *Memory) Access(now config.Cycle, pa addr.Phys, write bool) config.Cycle
 	}
 
 	done := start + service
+	m.tService.Observe(uint64(service))
 	busyUntil := done
 	if write {
 		busyUntil += m.cfg.TWR - m.cfg.WriteLatency // recovery overlaps cell write

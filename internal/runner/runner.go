@@ -25,12 +25,17 @@ import (
 )
 
 // Workers resolves a worker-count request: n > 0 is used as given,
-// anything else means one worker per available CPU (GOMAXPROCS).
+// anything else means one worker per available CPU (GOMAXPROCS). The
+// result is never below 1, so callers can divide by it or size pools
+// from it without guarding.
 func Workers(n int) int {
 	if n > 0 {
 		return n
 	}
-	return runtime.GOMAXPROCS(0)
+	if n = runtime.GOMAXPROCS(0); n > 0 {
+		return n
+	}
+	return 1
 }
 
 // ItemError records the failure of one item of a batch.
@@ -75,6 +80,11 @@ func (e *BatchError) Unwrap() []error {
 // *BatchError naming every failed item; the result slice is always fully
 // populated for the items that succeeded.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	if len(items) == 0 {
+		// Return a non-nil empty slice so callers can range, append, and
+		// marshal without a nil check; no workers are spawned.
+		return []R{}, nil
+	}
 	results := make([]R, len(items))
 	errs := make([]error, len(items))
 	workers = Workers(workers)

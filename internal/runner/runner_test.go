@@ -87,3 +87,37 @@ func TestWorkersResolution(t *testing.T) {
 		t.Fatal("defaulted worker count must be at least 1")
 	}
 }
+
+func TestMapEmptyInput(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 8} {
+		got, err := Map(workers, nil, func(i int, v int) (int, error) {
+			t.Fatalf("fn called on empty input (workers=%d)", workers)
+			return 0, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
+		if got == nil {
+			t.Fatalf("workers=%d: want non-nil empty slice, got nil", workers)
+		}
+		if len(got) != 0 {
+			t.Fatalf("workers=%d: want empty slice, got %v", workers, got)
+		}
+	}
+}
+
+func TestMapClampsNonPositiveWorkers(t *testing.T) {
+	// A below-1 worker request must clamp instead of deadlocking: the
+	// items still run and come back in order.
+	for _, workers := range []int{-5, 0} {
+		got, err := Map(workers, []int{1, 2, 3}, func(i int, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
+		if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 9 {
+			t.Fatalf("workers=%d: wrong results: %v", workers, got)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName converts an internal dotted metric name ("mc.ott_hits") into a
+// Prometheus-legal one ("fsencr_mc_ott_hits").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("fsencr_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (v0.0.4): counters, gauges, and histograms with cumulative
+// le-labelled buckets. Output is fully sorted, so identical snapshots
+// render byte-identically.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, promName(name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h *HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	// Emit cumulative buckets up to the last non-empty one; everything
+	// above collapses into +Inf. The final finite bound is always emitted
+	// even when empty so the series parses with at least one bucket.
+	last := 0
+	for i, c := range h.Buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last >= NumBuckets-1 {
+		last = NumBuckets - 2
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketBound(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON. Map keys are sorted by
+// encoding/json, so identical snapshots render byte-identically.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   uint64 `json:"ts"`
+	Dur  uint64 `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the snapshot's spans as a Chrome trace-event
+// JSON document. Simulated cycles map 1:1 onto trace microseconds (the
+// viewer's native unit), so span durations read directly as cycles.
+func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	tr := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(s.Spans)), DisplayTimeUnit: "ns"}
+	for _, sp := range s.Spans {
+		dur := sp.Dur
+		if dur == 0 {
+			dur = 1 // zero-width events vanish in the viewer
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			Ts: sp.Start, Dur: dur, Pid: 1, Tid: sp.Tid,
+		})
+	}
+	buf, err := json.MarshalIndent(tr, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

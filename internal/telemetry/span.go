@@ -1,0 +1,66 @@
+package telemetry
+
+import "sync"
+
+// Span is one completed trace span. Timestamps are simulated cycles, so
+// spans are fully deterministic across hosts and runner parallelism.
+type Span struct {
+	// Cat is the span category (chrome://tracing "cat" field): the
+	// subsystem that emitted it, e.g. "memctrl", "ott", "kernel",
+	// "kvstore", "whisper", "workload", "run".
+	Cat string `json:"cat"`
+	// Name identifies the operation within the category.
+	Name string `json:"name"`
+	// Start is the span's start time in simulated cycles.
+	Start uint64 `json:"start"`
+	// Dur is the span's duration in simulated cycles.
+	Dur uint64 `json:"dur"`
+	// Tid is the logical thread (simulated core) the span ran on.
+	Tid int `json:"tid"`
+}
+
+// spanRing is a fixed-capacity overwrite-oldest span buffer. Recording
+// into a full ring drops the oldest span — deterministically, since each
+// simulation records from a single goroutine in simulation order. The
+// mutex makes concurrent use safe (e.g. shared registries in tests); it is
+// uncontended in the per-run single-goroutine case.
+type spanRing struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	wrapped bool
+	drops   uint64
+}
+
+func newSpanRing(capacity int) *spanRing {
+	return &spanRing{buf: make([]Span, capacity)}
+}
+
+func (r *spanRing) record(sp Span) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.drops++
+	}
+	r.buf[r.next] = sp
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained spans oldest-first.
+func (r *spanRing) snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Span, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

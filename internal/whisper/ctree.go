@@ -20,6 +20,8 @@ type CTree struct {
 	pool      *pmem.Pool
 	rootSlot  int
 	valueSize int
+
+	pr probes
 }
 
 const leafTag = 1
@@ -85,6 +87,9 @@ func (t *CTree) descend(ref uint64, key uint64) (uint64, error) {
 
 // Put inserts or updates key.
 func (t *CTree) Put(key uint64, val []byte) error {
+	if t.pr.tel != nil {
+		defer t.pr.opSpan(t.pool, "ctree_put", t.pr.tPut, uint64(t.pool.Proc().Now()))
+	}
 	root, err := t.pool.GetRoot(t.rootSlot)
 	if err != nil {
 		return err
@@ -169,6 +174,9 @@ func (t *CTree) Put(key uint64, val []byte) error {
 
 // Get reads key's value into buf.
 func (t *CTree) Get(key uint64, buf []byte) (int, error) {
+	if t.pr.tel != nil {
+		defer t.pr.opSpan(t.pool, "ctree_get", t.pr.tGet, uint64(t.pool.Proc().Now()))
+	}
 	root, err := t.pool.GetRoot(t.rootSlot)
 	if err != nil {
 		return 0, err

@@ -21,6 +21,8 @@ type Hashmap struct {
 	buckets   uint64 // cached bucket count
 	bucketArr uint64 // cached bucket-array offset
 	valueSize int
+
+	pr probes
 }
 
 // Entry layout: [key 8][next 8][vlen 8][value ...].
@@ -111,6 +113,9 @@ func (h *Hashmap) find(key uint64) (uint64, error) {
 // allocate an entry, persist it, then durably link it at the bucket head —
 // the standard persist-then-link pattern.
 func (h *Hashmap) Put(key uint64, val []byte) error {
+	if h.pr.tel != nil {
+		defer h.pr.opSpan(h.pool, "hashmap_put", h.pr.tPut, uint64(h.pool.Proc().Now()))
+	}
 	ent, err := h.find(key)
 	if err != nil {
 		return err
@@ -146,6 +151,9 @@ func (h *Hashmap) Put(key uint64, val []byte) error {
 
 // Get reads key's value into buf, returning its length.
 func (h *Hashmap) Get(key uint64, buf []byte) (int, error) {
+	if h.pr.tel != nil {
+		defer h.pr.opSpan(h.pool, "hashmap_get", h.pr.tGet, uint64(h.pool.Proc().Now()))
+	}
 	ent, err := h.find(key)
 	if err != nil {
 		return 0, err

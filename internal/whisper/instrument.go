@@ -1,0 +1,42 @@
+package whisper
+
+import (
+	"fsencr/internal/pmem"
+	"fsencr/internal/telemetry"
+)
+
+// probes bundles the telemetry handles of one whisper structure. Views
+// copy the containing struct, so a structure instrumented before its
+// per-thread Views are taken propagates the handles to every view.
+type probes struct {
+	tel  *telemetry.Registry
+	tPut *telemetry.Histogram
+	tGet *telemetry.Histogram
+}
+
+// opSpan records one completed operation against pool's clock.
+func (pr *probes) opSpan(pool *pmem.Pool, name string, h *telemetry.Histogram, start uint64) {
+	end := uint64(pool.Proc().Now())
+	h.Observe(end - start)
+	pr.tel.Span("whisper", name, start, end, pool.Proc().Core().ID())
+}
+
+// Instrument attaches telemetry handles for hashmap op latencies and spans.
+// A nil registry detaches.
+func (h *Hashmap) Instrument(reg *telemetry.Registry) {
+	h.pr = probes{
+		tel:  reg,
+		tPut: reg.Histogram("whisper.hashmap_put_cycles"),
+		tGet: reg.Histogram("whisper.hashmap_get_cycles"),
+	}
+}
+
+// Instrument attaches telemetry handles for ctree op latencies and spans.
+// A nil registry detaches.
+func (t *CTree) Instrument(reg *telemetry.Registry) {
+	t.pr = probes{
+		tel:  reg,
+		tPut: reg.Histogram("whisper.ctree_put_cycles"),
+		tGet: reg.Histogram("whisper.ctree_get_cycles"),
+	}
+}

@@ -8,11 +8,13 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"fsencr/internal/fs"
 	"fsencr/internal/kernel"
 	"fsencr/internal/pmem"
 	"fsencr/internal/sim"
+	"fsencr/internal/telemetry"
 )
 
 // Env is the execution environment handed to a workload.
@@ -82,6 +84,11 @@ func (e *Env) CreatePool(name string, size uint64) error {
 // Pool returns thread t's view of the shared pool.
 func (e *Env) Pool(t int) *pmem.Pool { return e.pools[t] }
 
+// Telemetry returns the system's telemetry registry (nil — the no-op
+// recorder — when the run is uninstrumented). Workload setup passes it to
+// the data structures it builds.
+func (e *Env) Telemetry() *telemetry.Registry { return e.Sys.Telemetry() }
+
 // File returns the benchmark's backing file.
 func (e *Env) File() *fs.File { return e.file }
 
@@ -101,6 +108,10 @@ func (e *Env) Get(k string) interface{} { return e.extra[k] }
 // — a deterministic stand-in for concurrent execution that keeps shared
 // bank/cache contention realistic.
 func (e *Env) RunThreads(opsPerThread int, fn func(thread, op int) error) error {
+	starts := make([]uint64, len(e.Procs))
+	for t := range e.Procs {
+		starts[t] = uint64(e.Procs[t].Now())
+	}
 	done := make([]int, len(e.Procs))
 	remaining := opsPerThread * len(e.Procs)
 	for remaining > 0 {
@@ -118,6 +129,13 @@ func (e *Env) RunThreads(opsPerThread int, fn func(thread, op int) error) error 
 		}
 		done[best]++
 		remaining--
+	}
+	// One span per thread covering its whole timed region.
+	if tel := e.Telemetry(); tel != nil {
+		for t := range e.Procs {
+			tel.Span("workload", fmt.Sprintf("thread%d", t),
+				starts[t], uint64(e.Procs[t].Now()), e.Procs[t].Core().ID())
+		}
 	}
 	return nil
 }
@@ -147,13 +165,22 @@ func register(w *Workload) {
 	order = append(order, w.Name)
 }
 
-// Lookup finds a workload by name.
+// Lookup finds a workload by name. The PMEMKV workloads also answer to the
+// paper's "pmemkv-<op>" spelling: "pmemkv-fillrandom" is the small-value
+// variant "fillrandom-s", and "pmemkv-fillrandom-l" the large one.
 func Lookup(name string) (*Workload, error) {
-	w, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	if w, ok := registry[name]; ok {
+		return w, nil
 	}
-	return w, nil
+	if kv, ok := strings.CutPrefix(name, "pmemkv-"); ok {
+		if !strings.HasSuffix(kv, "-s") && !strings.HasSuffix(kv, "-l") {
+			kv += "-s"
+		}
+		if w, ok := registry[kv]; ok {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
 // Names returns every registered workload in registration order.

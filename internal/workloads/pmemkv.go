@@ -40,6 +40,9 @@ func setupTree(e *Env, valueSize int) (*kvstore.BTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Instrument before views are taken: View copies the struct, so every
+	// per-thread view inherits the handles.
+	t.Instrument(e.Telemetry())
 	return t, nil
 }
 

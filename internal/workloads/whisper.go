@@ -50,6 +50,7 @@ func init() {
 			if err != nil {
 				return err
 			}
+			h.Instrument(e.Telemetry())
 			val := make([]byte, whisperValueSize)
 			rng := e.RNG(0)
 			for k := uint64(0); k < records; k++ {
@@ -104,6 +105,7 @@ func init() {
 			if err != nil {
 				return err
 			}
+			h.Instrument(e.Telemetry())
 			views := []*whisper.Hashmap{h}
 			for i := 1; i < len(e.Procs); i++ {
 				views = append(views, h.View(e.Pool(i)))
@@ -149,6 +151,7 @@ func init() {
 			if err != nil {
 				return err
 			}
+			t.Instrument(e.Telemetry())
 			views := []*whisper.CTree{t}
 			for i := 1; i < len(e.Procs); i++ {
 				views = append(views, t.View(e.Pool(i)))
