@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json overhead-guard ci
+.PHONY: build test race vet bench bench-json bench-check overhead-guard ci
 
 build:
 	$(GO) build ./...
@@ -45,10 +45,21 @@ bench-json:
 	' | { echo '{'; cat; echo '}'; } > BENCH_baseline.json
 	@cat BENCH_baseline.json
 
+# Bench-regression gate: rerun the hot-path benchmarks (3 repeats each;
+# the comparator keeps the fastest, discarding scheduler noise) and fail
+# if any ns/op regressed more than 15% against the committed baseline, or
+# if a baseline benchmark disappeared.
+bench-check:
+	@{ \
+	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine' -count 3 ./internal/memctrl ; \
+	  $(GO) test -run '^$$' -bench . -count 3 ./internal/aesctr ; \
+	  $(GO) test -run '^$$' -bench 'Put|Get' -count 3 ./internal/kvstore ; \
+	} | $(GO) run ./cmd/fsencr-bench -check BENCH_baseline.json -tolerance 0.15
+
 # Telemetry-overhead gate: with no registry attached (the no-op recorder)
 # the telemetry hooks on ReadLine/WriteLine must stay under 3% of the
 # op's ns/op. See TestTelemetryOverheadGuard in internal/memctrl.
 overhead-guard:
 	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run TestTelemetryOverheadGuard -v ./internal/memctrl
 
-ci: build vet test race overhead-guard
+ci: build vet test race overhead-guard bench-check

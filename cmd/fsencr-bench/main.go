@@ -7,6 +7,14 @@
 //	fsencr-bench -fig 8 -ops 500    # reduced scale
 //	fsencr-bench -parallel 1        # sequential baseline (for speedup checks)
 //	fsencr-bench -json BENCH_figures.json   # also dump machine-readable results
+//	fsencr-bench -trace-out trace.json      # full-sweep Chrome trace
+//
+// As the CI bench-regression gate, -check compares `go test -bench` output
+// (stdin, or a file via -current) against a committed baseline and exits
+// nonzero when any benchmark slowed beyond -tolerance:
+//
+//	go test -run '^$' -bench . -count 3 ./internal/memctrl | \
+//	    fsencr-bench -check BENCH_baseline.json -tolerance 0.15
 //
 // Figures: 3 (software encryption), 8-10 (PMEMKV), 11 (Whisper),
 // 12-14 (synthetic microbenchmarks), 15 (metadata-cache sensitivity).
@@ -20,11 +28,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"fsencr/internal/benchcmp"
 	"fsencr/internal/core"
 	"fsencr/internal/report"
 	"fsencr/internal/stats"
+	"fsencr/internal/telemetry"
 	"fsencr/internal/workloads"
 )
 
@@ -99,6 +111,49 @@ func (r *jsonReport) addRatios(figure string, names []string, ratios []float64, 
 	r.Figures = append(r.Figures, fig)
 }
 
+// runCheck is the -check mode: diff current benchmark results against the
+// committed baseline and return the process exit code.
+func runCheck(baselinePath, currentPath string, tolerance float64) int {
+	base, err := benchcmp.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsencr-bench:", err)
+		return 2
+	}
+	var cur map[string]benchcmp.Entry
+	if strings.HasSuffix(currentPath, ".json") {
+		cur, err = benchcmp.ReadFile(currentPath)
+	} else {
+		in := io.Reader(os.Stdin)
+		if currentPath != "" && currentPath != "-" {
+			f, ferr := os.Open(currentPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "fsencr-bench:", ferr)
+				return 2
+			}
+			defer f.Close()
+			in = f
+		}
+		cur, err = benchcmp.Parse(in)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsencr-bench:", err)
+		return 2
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "fsencr-bench: no benchmark results in current input")
+		return 2
+	}
+	rep := benchcmp.Compare(base, cur, tolerance)
+	if err := rep.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fsencr-bench:", err)
+		return 2
+	}
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	var (
 		fig        = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
@@ -106,14 +161,24 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 		jsonPath   = flag.String("json", "", "also write figure ratios and per-run results to this JSON file")
 		metricsDir = flag.String("metrics-dir", "", "write one merged telemetry snapshot (JSON, spans stripped) per figure into this directory")
+		traceOut   = flag.String("trace-out", "", "write the whole sweep's spans as Chrome trace-event JSON to this file")
+
+		checkPath = flag.String("check", "", "bench-regression gate: compare benchmark results against this baseline JSON and exit nonzero on regression")
+		curPath   = flag.String("current", "-", "with -check: current results — '-'/plain file for `go test -bench` text, *.json for baseline-format JSON")
+		tolerance = flag.Float64("tolerance", 0.15, "with -check: allowed fractional ns/op slowdown per benchmark")
 	)
 	flag.Parse()
+	if *checkPath != "" {
+		os.Exit(runCheck(*checkPath, *curPath, *tolerance))
+	}
 	core.Parallelism = *parallel
 	if *metricsDir != "" {
 		if err := os.MkdirAll(*metricsDir, 0755); err != nil {
 			fmt.Fprintln(os.Stderr, "fsencr-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if *metricsDir != "" || *traceOut != "" {
 		core.EnableTelemetry()
 	}
 
@@ -132,24 +197,33 @@ func main() {
 	// snapFigures drains the telemetry sink into one snapshot file per
 	// named figure (figures sharing a run group share the snapshot). The
 	// merged snapshot is deterministic at any -parallel, so these files
-	// are byte-identical across worker counts.
+	// are byte-identical across worker counts. With -trace-out the
+	// span-bearing snapshot is also retained, so the final trace covers
+	// the whole sweep across the per-figure sink resets.
+	var traceSnaps []*telemetry.Snapshot
 	snapFigures := func(names ...string) {
-		if *metricsDir == "" || len(names) == 0 {
+		if (*metricsDir == "" && *traceOut == "") || len(names) == 0 {
 			return
 		}
-		snap := core.TelemetrySnapshot().WithoutSpans()
-		for _, name := range names {
-			path := fmt.Sprintf("%s/%s.json", *metricsDir, name)
-			f, err := os.Create(path)
-			if err != nil {
-				fail(err)
-			}
-			if err := snap.WriteJSON(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
-				fail(err)
+		snap := core.TelemetrySnapshot()
+		if *traceOut != "" {
+			traceSnaps = append(traceSnaps, snap)
+		}
+		if *metricsDir != "" {
+			slim := snap.WithoutSpans()
+			for _, name := range names {
+				path := fmt.Sprintf("%s/%s.json", *metricsDir, name)
+				f, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := slim.WriteJSON(f); err != nil {
+					f.Close()
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(err)
+				}
 			}
 		}
 		core.ResetTelemetrySink()
@@ -271,5 +345,24 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s (%d figures)\n", *jsonPath, len(rep.Figures))
+	}
+
+	if *traceOut != "" {
+		merged := telemetry.NewSnapshot()
+		for _, s := range traceSnaps {
+			merged.Merge(s)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := merged.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d spans, %d dropped)\n", *traceOut, len(merged.Spans), merged.SpanDrops)
 	}
 }

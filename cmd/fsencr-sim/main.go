@@ -12,6 +12,14 @@
 // of (workload × scheme) is executed as one batch on the parallel
 // experiment runner and printed in input order. Each simulation boots its
 // own system, so results are identical at any -parallel value.
+//
+// With -serve the process additionally runs the live observability plane
+// while the batch executes:
+//
+//	fsencr-sim -workload ycsb,hashmap -scheme fsencr -serve :9143 -linger
+//	curl localhost:9143/metrics        # Prometheus scrape
+//	curl localhost:9143/snapshot.json  # numbered snapshot + delta
+//	curl localhost:9143/journal.jsonl  # security-event journal
 package main
 
 import (
@@ -19,10 +27,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"fsencr/internal/config"
 	"fsencr/internal/core"
+	"fsencr/internal/obsplane"
+	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/workloads"
 )
 
@@ -66,11 +78,19 @@ func main() {
 
 		metricsOut = flag.String("metrics-out", "", "write the batch's merged telemetry metrics in Prometheus text format to this file")
 		traceOut   = flag.String("trace-out", "", "write the batch's spans as Chrome trace-event JSON (chrome://tracing) to this file")
+		journalOut = flag.String("journal-out", "", "write the batch's merged security-event journal as JSONL to this file")
+
+		serve      = flag.String("serve", "", "serve the live observability plane on this address (e.g. :9143) while the batch runs")
+		linger     = flag.Bool("linger", false, "with -serve: keep serving after the batch completes, until interrupted")
+		publishInt = flag.Duration("publish-interval", obsplane.DefaultInterval, "with -serve: period between numbered snapshot publications")
 	)
 	flag.Parse()
 	core.Parallelism = *parallel
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *serve != "" {
 		core.EnableTelemetry()
+	}
+	if *journalOut != "" || *serve != "" {
+		core.EnableJournal()
 	}
 
 	if *list {
@@ -118,9 +138,37 @@ func main() {
 		}
 	}
 
+	var srv *obsplane.Server
+	if *serve != "" {
+		srv = obsplane.NewServer(obsplane.Options{
+			Snapshot: core.LiveTelemetrySnapshot,
+			Journal:  core.LiveJournalEvents,
+			Interval: *publishInt,
+		})
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fail(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "fsencr-sim: observability plane on http://%s (/metrics /snapshot.json /trace.json /journal.jsonl /healthz /debug/pprof)\n", addr)
+	}
+
 	results, err := core.RunBatch(reqs)
 	if err != nil {
 		fail(1, err)
+	}
+	if srv != nil {
+		// One final publication so scrapers see the completed batch even if
+		// it finished between ticks.
+		srv.Publish()
+	}
+
+	if *journalOut != "" {
+		evs := core.JournalEvents()
+		if err := writeFileWith(*journalOut, func(w io.Writer) error {
+			return journal.WriteJSONL(w, evs)
+		}); err != nil {
+			fail(1, err)
+		}
 	}
 
 	if *metricsOut != "" || *traceOut != "" {
@@ -161,5 +209,19 @@ func main() {
 				fmt.Printf("miss latency    mean %.1f cycles, max %d\n", res.ReadLatMean, res.ReadLatMax)
 			}
 		}
+	}
+
+	if srv != nil {
+		if *linger {
+			fmt.Fprintln(os.Stderr, "fsencr-sim: batch done; still serving (interrupt to exit)")
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			<-sig
+		} else {
+			// Leave one publish interval for a scraper to catch the final
+			// state before the process exits.
+			time.Sleep(*publishInt)
+		}
+		srv.Close()
 	}
 }

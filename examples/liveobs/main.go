@@ -1,0 +1,100 @@
+// Liveobs: the observability plane watching a live batch. A PMEMKV
+// workload sweep (baseline vs FsEncr, the Figure 8 comparison) runs on the
+// parallel experiment runner while an in-process HTTP server exposes the
+// telemetry sink and the security-event journal; the example plays the
+// role of the operator, polling /healthz and /snapshot.json mid-run the
+// way `curl` would against `fsencr-sim -serve`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fsencr/internal/core"
+	"fsencr/internal/obsplane"
+	"fsencr/internal/telemetry"
+)
+
+func get(base, path string) []byte {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
+func main() {
+	core.EnableTelemetry()
+	core.EnableJournal()
+
+	srv := obsplane.NewServer(obsplane.Options{
+		Snapshot: core.LiveTelemetrySnapshot,
+		Journal:  core.LiveJournalEvents,
+		Interval: 50 * time.Millisecond,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+	fmt.Printf("observability plane on %s\n", base)
+
+	// The Figure 8 batch: every PMEMKV workload under baseline and FsEncr.
+	var reqs []core.Request
+	for _, w := range core.PMEMKVWorkloads {
+		for _, s := range []core.Scheme{core.SchemeBaseline, core.SchemeFsEncr} {
+			reqs = append(reqs, core.Request{Workload: w, Scheme: s, Ops: 400})
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := core.RunBatch(reqs)
+		done <- err
+	}()
+
+	// Poll the plane while the batch runs, like a dashboard would.
+	var doc struct {
+		Seq      uint64              `json:"seq"`
+		Snapshot *telemetry.Snapshot `json:"snapshot"`
+		Delta    *telemetry.Snapshot `json:"delta"`
+	}
+	for running := true; running; {
+		select {
+		case err := <-done:
+			if err != nil {
+				panic(err)
+			}
+			running = false
+		case <-time.After(100 * time.Millisecond):
+		}
+		fmt.Printf("healthz: %s", get(base, "/healthz"))
+		if err := json.Unmarshal(get(base, "/snapshot.json"), &doc); err != nil {
+			panic(err)
+		}
+		fmt.Printf("snapshot seq=%d: %d runs merged, %d pcm reads (+%d since last publish)\n",
+			doc.Seq, doc.Snapshot.Runs, doc.Snapshot.Counters["pcm.reads"], doc.Delta.Counters["pcm.reads"])
+	}
+
+	srv.Publish() // final numbered snapshot covering the whole batch
+	if err := json.Unmarshal(get(base, "/snapshot.json"), &doc); err != nil {
+		panic(err)
+	}
+	evs := core.JournalEvents()
+	fmt.Printf("batch done: %d runs, %d security-journal events\n", doc.Snapshot.Runs, len(evs))
+	for i, e := range evs {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(evs)-5)
+			break
+		}
+		fmt.Printf("  cycle=%-8d %-18s group=%d file=%d\n", e.Cycle, e.Type, e.Group, e.File)
+	}
+}

@@ -1,0 +1,195 @@
+// Package benchcmp diffs Go benchmark results against a committed
+// baseline, so CI can fail on hot-path performance regressions instead of
+// discovering them in a later profiling session.
+//
+// The baseline is the BENCH_baseline.json shape `make bench-json` writes:
+// a flat map of "import/path.BenchmarkName" to {iterations, ns_per_op}.
+// Current results come either from another such JSON file or parsed
+// directly from `go test -bench` text output; with -count repeats the
+// minimum ns/op per benchmark is kept, which discards scheduler noise
+// without needing a full stats package.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	Iterations uint64  `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// ReadFile loads a baseline JSON map keyed "pkg.BenchmarkName".
+func ReadFile(path string) (map[string]Entry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Entry)
+	if err := json.Unmarshal(buf, &out); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// benchLine matches "BenchmarkName-8   849849   1446 ns/op" (the GOMAXPROCS
+// suffix is optional; gomaxprocs=1 benchmarks omit it).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Parse reads `go test -bench` text output. Results are keyed by the
+// enclosing "pkg:" header plus the benchmark name; repeated runs of the
+// same benchmark (-count) keep the fastest.
+func Parse(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		iters, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad ns/op in %q: %w", line, err)
+		}
+		if prev, ok := out[name]; !ok || ns < prev.NsPerOp {
+			out[name] = Entry{Iterations: iters, NsPerOp: ns}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delta is one benchmark's baseline-to-current change.
+type Delta struct {
+	Name string
+	Base float64 // baseline ns/op
+	Cur  float64 // current ns/op
+}
+
+// Ratio returns cur/base (1.0 = unchanged, 1.2 = 20% slower).
+func (d Delta) Ratio() float64 {
+	if d.Base == 0 {
+		return 1
+	}
+	return d.Cur / d.Base
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	// Deltas covers benchmarks present on both sides, sorted by name.
+	Deltas []Delta
+	// Missing lists baseline benchmarks absent from the current run — a
+	// silently deleted benchmark must fail the gate, otherwise removing
+	// the measurement is the cheapest way to "fix" a regression.
+	Missing []string
+	// New lists current benchmarks absent from the baseline (informational).
+	New []string
+	// Tolerance is the allowed fractional slowdown (0.15 = +15% ns/op).
+	Tolerance float64
+}
+
+// Compare diffs current results against the baseline.
+func Compare(base, cur map[string]Entry, tolerance float64) *Report {
+	r := &Report{Tolerance: tolerance}
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			r.Missing = append(r.Missing, name)
+			continue
+		}
+		r.Deltas = append(r.Deltas, Delta{Name: name, Base: b.NsPerOp, Cur: c.NsPerOp})
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			r.New = append(r.New, name)
+		}
+	}
+	sort.Slice(r.Deltas, func(i, j int) bool { return r.Deltas[i].Name < r.Deltas[j].Name })
+	sort.Strings(r.Missing)
+	sort.Strings(r.New)
+	return r
+}
+
+// Regressions returns the deltas exceeding the tolerance.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Ratio() > 1+r.Tolerance {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// OK reports whether the gate passes: no regressions beyond tolerance and
+// no baseline benchmark missing from the current run.
+func (r *Report) OK() bool {
+	return len(r.Regressions()) == 0 && len(r.Missing) == 0
+}
+
+// Write renders the comparison as an aligned table with a verdict line.
+func (r *Report) Write(w io.Writer) error {
+	tw := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	width := len("benchmark")
+	for _, d := range r.Deltas {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	if err := tw("%-*s  %12s  %12s  %8s\n", width, "benchmark", "base ns/op", "cur ns/op", "delta"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.Ratio() > 1+r.Tolerance {
+			mark = "  REGRESSION"
+		}
+		if err := tw("%-*s  %12.2f  %12.2f  %+7.1f%%%s\n",
+			width, d.Name, d.Base, d.Cur, (d.Ratio()-1)*100, mark); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Missing {
+		if err := tw("%-*s  %12s  %12s  %8s  MISSING\n", width, name, "-", "-", "-"); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.New {
+		if err := tw("%-*s  %12s  (new, no baseline)\n", width, name, "-"); err != nil {
+			return err
+		}
+	}
+	if r.OK() {
+		return tw("bench-check: ok (%d benchmarks within +%.0f%%)\n", len(r.Deltas), r.Tolerance*100)
+	}
+	return tw("bench-check: FAIL (%d regressions, %d missing; tolerance +%.0f%%)\n",
+		len(r.Regressions()), len(r.Missing), r.Tolerance*100)
+}

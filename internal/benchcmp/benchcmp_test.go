@@ -1,0 +1,119 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: fsencr/internal/memctrl
+cpu: whatever
+BenchmarkReadLine-8   	  849849	      1446 ns/op
+BenchmarkReadLine-8   	  901234	      1390 ns/op
+BenchmarkWriteLine-8  	   84445	     12291 ns/op
+PASS
+ok  	fsencr/internal/memctrl	2.905s
+pkg: fsencr/internal/aesctr
+BenchmarkOTP-8        	 9621478	       123.3 ns/op
+PASS
+ok  	fsencr/internal/aesctr	1.1s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	// Repeats keep the fastest run.
+	if e := got["fsencr/internal/memctrl.BenchmarkReadLine"]; e.NsPerOp != 1390 || e.Iterations != 901234 {
+		t.Errorf("ReadLine: %+v, want fastest of the repeats", e)
+	}
+	if e := got["fsencr/internal/aesctr.BenchmarkOTP"]; e.NsPerOp != 123.3 {
+		t.Errorf("OTP: %+v", e)
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	data := `{
+  "fsencr/internal/memctrl.BenchmarkReadLine": {"iterations": 849849, "ns_per_op": 1446},
+  "fsencr/internal/aesctr.BenchmarkOTP": {"iterations": 9621478, "ns_per_op": 123.3}
+}`
+	if err := os.WriteFile(path, []byte(data), 0644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["fsencr/internal/memctrl.BenchmarkReadLine"].NsPerOp != 1446 {
+		t.Fatalf("baseline: %+v", got)
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	base := map[string]Entry{
+		"a.BenchmarkX": {NsPerOp: 100},
+		"a.BenchmarkY": {NsPerOp: 1000},
+	}
+	cur := map[string]Entry{
+		"a.BenchmarkX": {NsPerOp: 114}, // +14% < 15%
+		"a.BenchmarkY": {NsPerOp: 900}, // faster
+		"a.BenchmarkZ": {NsPerOp: 5},   // new, informational
+	}
+	r := Compare(base, cur, 0.15)
+	if !r.OK() {
+		t.Fatalf("within-tolerance comparison failed: %+v", r.Regressions())
+	}
+	if len(r.New) != 1 || r.New[0] != "a.BenchmarkZ" {
+		t.Errorf("new benchmarks: %v", r.New)
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bench-check: ok") {
+		t.Errorf("report verdict:\n%s", sb.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := map[string]Entry{"a.BenchmarkX": {NsPerOp: 100}}
+	cur := map[string]Entry{"a.BenchmarkX": {NsPerOp: 120}} // +20% > 15%
+	r := Compare(base, cur, 0.15)
+	if r.OK() {
+		t.Fatal("20% slowdown passed a 15% gate")
+	}
+	regs := r.Regressions()
+	if len(regs) != 1 || regs[0].Name != "a.BenchmarkX" {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") || !strings.Contains(sb.String(), "bench-check: FAIL") {
+		t.Errorf("report:\n%s", sb.String())
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := map[string]Entry{
+		"a.BenchmarkX": {NsPerOp: 100},
+		"a.BenchmarkY": {NsPerOp: 100},
+	}
+	cur := map[string]Entry{"a.BenchmarkX": {NsPerOp: 100}}
+	r := Compare(base, cur, 0.15)
+	if r.OK() {
+		t.Fatal("missing baseline benchmark passed the gate")
+	}
+	if len(r.Missing) != 1 || r.Missing[0] != "a.BenchmarkY" {
+		t.Fatalf("missing: %v", r.Missing)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fsencr/internal/config"
 	"fsencr/internal/kernel"
 	"fsencr/internal/memctrl"
+	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/runner"
 	"fsencr/internal/telemetry"
 	"fsencr/internal/workloads"
@@ -116,6 +117,9 @@ type Result struct {
 	// collection is enabled; see EnableTelemetry). Omitted from JSON
 	// results — export it through the snapshot writers instead.
 	Telemetry *telemetry.Snapshot `json:"-"`
+	// Journal is the run's security-event journal (nil unless collection
+	// is enabled; see EnableJournal). Export it through journal.WriteJSONL.
+	Journal *journal.Log `json:"-"`
 }
 
 // CyclesPerOp returns average cycles per timed operation.
@@ -151,6 +155,12 @@ func Run(req Request) (Result, error) {
 		// goroutine, so everything recorded is deterministic.
 		reg = telemetry.New()
 		sys.Instrument(reg)
+	}
+	var jrn *journal.Journal
+	if JournalEnabled() {
+		// Likewise a private journal per run: one emitter, simulation order.
+		jrn = journal.New(journal.DefaultCapacity)
+		sys.AttachJournal(jrn)
 	}
 	env := workloads.NewEnv(sys, w.Threads, req.Ops, req.Scheme.FilesEncrypted(), seed)
 	if err := w.Setup(env); err != nil {
@@ -206,6 +216,9 @@ func Run(req Request) (Result, error) {
 		snap.AddCounters(after)
 		res.Telemetry = snap
 	}
+	if jrn != nil {
+		res.Journal = jrn.Drain()
+	}
 	if v := m.MC.IntegrityViolations(); v != 0 {
 		return res, fmt.Errorf("core: %d integrity violations during %s/%s", v, req.Workload, req.Scheme)
 	}
@@ -229,8 +242,22 @@ var Parallelism = 0
 // one broken workload cannot kill a whole figure sweep.
 func RunBatch(reqs []Request) ([]Result, error) {
 	rs, err := runner.Map(Parallelism, reqs, func(_ int, r Request) (Result, error) {
-		return Run(r)
+		res, err := Run(r)
+		// Feed the live observability view as runs complete; the canonical
+		// merges below happen once the whole batch is in, in input order.
+		if res.Telemetry != nil {
+			noteLiveTelemetry(res.Telemetry)
+		}
+		if res.Journal != nil {
+			noteLiveJournal(res.Journal)
+		}
+		return res, err
 	})
+	// Drop the in-flight view before the canonical merges land so a live
+	// reader never sees a run twice (it may briefly miss the batch between
+	// the drop and the merge, which is the benign direction).
+	dropLiveTelemetry()
+	dropLiveJournal()
 	if TelemetryEnabled() {
 		// Merge per-run snapshots into the sink in *input* order — never
 		// completion order — so the aggregate is identical at any
@@ -240,6 +267,15 @@ func RunBatch(reqs []Request) ([]Result, error) {
 			snaps[i] = rs[i].Telemetry
 		}
 		mergeTelemetry(snaps)
+	}
+	if JournalEnabled() {
+		// Per-run journals fold into the sink in input order too, so the
+		// merged event sequence is identical at any Parallelism.
+		parts := make([]*journal.Log, len(rs))
+		for i := range rs {
+			parts[i] = rs[i].Journal
+		}
+		mergeJournal(parts)
 	}
 	return rs, err
 }

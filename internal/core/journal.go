@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync"
+
+	"fsencr/internal/obsplane/journal"
+)
+
+// Security-journal collection mirrors telemetry collection: when enabled,
+// every Run boots its system with a private journal (single emitter, so
+// recording is race-free and the per-run event order is the simulation
+// order), drains it at the end of the run, and RunBatch folds the per-run
+// event lists into a process-wide sink in batch input order. Every event
+// is stamped with simulated cycles, so the merged journal is byte-identical
+// at any Parallelism.
+var (
+	jrnMu      sync.Mutex
+	jrnEnabled bool
+	jrnSink    []journal.Event
+)
+
+// EnableJournal turns on per-run security-journal collection and clears
+// the sink.
+func EnableJournal() {
+	jrnMu.Lock()
+	defer jrnMu.Unlock()
+	jrnEnabled = true
+	jrnSink = nil
+}
+
+// JournalEnabled reports whether runs collect security-journal events.
+func JournalEnabled() bool {
+	jrnMu.Lock()
+	defer jrnMu.Unlock()
+	return jrnEnabled
+}
+
+// ResetJournalSink clears the merged journal without touching the enabled
+// flag.
+func ResetJournalSink() {
+	jrnMu.Lock()
+	defer jrnMu.Unlock()
+	jrnSink = nil
+}
+
+// JournalEvents returns a copy of the merged journal, in merge order.
+func JournalEvents() []journal.Event {
+	jrnMu.Lock()
+	defer jrnMu.Unlock()
+	out := make([]journal.Event, len(jrnSink))
+	copy(out, jrnSink)
+	return out
+}
+
+// Live journal view, mirroring the telemetry one: completed runs' events
+// accumulate in completion order while a batch is in flight, for the
+// observability plane only.
+var (
+	liveJrnMu      sync.Mutex
+	liveJrnPending []journal.Event
+)
+
+func noteLiveJournal(l *journal.Log) {
+	liveJrnMu.Lock()
+	defer liveJrnMu.Unlock()
+	liveJrnPending = append(liveJrnPending, l.Events...)
+}
+
+func dropLiveJournal() {
+	liveJrnMu.Lock()
+	defer liveJrnMu.Unlock()
+	liveJrnPending = nil
+}
+
+// LiveJournalEvents returns the merged journal plus events from runs that
+// completed in the batch currently in flight (completion order, Seq
+// renumbered to the combined view). Serve this to live readers; export the
+// canonical JournalEvents to files.
+func LiveJournalEvents() []journal.Event {
+	out := JournalEvents()
+	liveJrnMu.Lock()
+	defer liveJrnMu.Unlock()
+	for _, e := range liveJrnPending {
+		e.Seq = uint64(len(out))
+		out = append(out, e)
+	}
+	return out
+}
+
+// mergeJournal folds per-run logs into the sink in slice order,
+// renumbering Seq to the global merge order so the aggregate reads as one
+// ordered journal. Failed runs carry a nil log and are skipped.
+func mergeJournal(parts []*journal.Log) {
+	jrnMu.Lock()
+	defer jrnMu.Unlock()
+	if !jrnEnabled {
+		return
+	}
+	for _, l := range parts {
+		if l == nil {
+			continue
+		}
+		for _, e := range l.Events {
+			e.Seq = uint64(len(jrnSink))
+			jrnSink = append(jrnSink, e)
+		}
+	}
+}

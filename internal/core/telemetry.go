@@ -63,3 +63,43 @@ func mergeTelemetry(snaps []*telemetry.Snapshot) {
 		telSink.Merge(s)
 	}
 }
+
+// The live view: while a batch is in flight, completed runs accumulate
+// here in completion order so the observability plane can show progress
+// mid-batch. It is a display surface only — the canonical sink above
+// merges in input order at batch end, and the pending view is dropped
+// just before that merge, so determinism of the exports is untouched.
+var (
+	liveMu      sync.Mutex
+	livePending *telemetry.Snapshot
+)
+
+func noteLiveTelemetry(s *telemetry.Snapshot) {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if livePending == nil {
+		livePending = telemetry.NewSnapshot()
+	}
+	livePending.Merge(s)
+}
+
+func dropLiveTelemetry() {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	livePending = nil
+}
+
+// LiveTelemetrySnapshot returns the merged sink plus any runs that have
+// completed in the batch currently in flight. Between batches it equals
+// TelemetrySnapshot; mid-batch it additionally reflects finished runs in
+// completion order. Serve this to live readers; export the canonical
+// TelemetrySnapshot to files.
+func LiveTelemetrySnapshot() *telemetry.Snapshot {
+	s := TelemetrySnapshot()
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if livePending != nil {
+		s.Merge(livePending)
+	}
+	return s
+}

@@ -10,6 +10,7 @@ import (
 	"fsencr/internal/fs"
 	"fsencr/internal/machine"
 	"fsencr/internal/memctrl"
+	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/pagecache"
 	"fsencr/internal/swencrypt"
 	"fsencr/internal/telemetry"
@@ -88,6 +89,11 @@ func (s *System) Instrument(reg *telemetry.Registry) {
 
 // Telemetry returns the attached registry (nil when uninstrumented).
 func (s *System) Telemetry() *telemetry.Registry { return s.tel }
+
+// AttachJournal attaches a security-event journal to the machine (and so
+// to the memory controller and the structures it owns). A nil journal
+// detaches.
+func (s *System) AttachJournal(j *journal.Journal) { s.M.AttachJournal(j) }
 
 // Kernel-level errors.
 var (

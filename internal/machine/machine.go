@@ -20,6 +20,7 @@ import (
 	"fsencr/internal/cache"
 	"fsencr/internal/config"
 	"fsencr/internal/memctrl"
+	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/stats"
 	"fsencr/internal/telemetry"
 )
@@ -63,6 +64,10 @@ func (m *Machine) Instrument(reg *telemetry.Registry) {
 	m.tMissCycles = reg.Histogram("machine.read_miss_cycles")
 	m.MC.Instrument(reg)
 }
+
+// AttachJournal attaches a security-event journal to the memory controller
+// (the machine itself emits no journal events).
+func (m *Machine) AttachJournal(j *journal.Journal) { m.MC.AttachJournal(j) }
 
 // SetTracer installs (or removes, with nil) a memory-operation tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }

@@ -20,6 +20,7 @@ import (
 	"fsencr/internal/config"
 	"fsencr/internal/counters"
 	"fsencr/internal/merkle"
+	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/ott"
 	"fsencr/internal/pcm"
 	"fsencr/internal/stats"
@@ -108,6 +109,12 @@ type Controller struct {
 	tMetaFetch   *telemetry.Histogram
 	tBMTWalk     *telemetry.Histogram
 	tKeyLookup   *telemetry.Histogram
+
+	// Security-event journal (nil until AttachJournal) and the simulated
+	// cycle of the request currently in the datapath, which stamps events
+	// emitted from structures that have no clock of their own (OTT, tree).
+	jrn    *journal.Journal
+	jcycle uint64
 }
 
 // writeQueueDepth is the number of in-flight writes the controller buffers.

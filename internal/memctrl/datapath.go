@@ -6,12 +6,15 @@ import (
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
 	"fsencr/internal/config"
+	"fsencr/internal/counters"
+	"fsencr/internal/obsplane/journal"
 )
 
 // ReadLine services a last-level-cache miss for the line containing pa,
 // arriving at the controller at time now. It returns the plaintext line and
 // the completion time (Figure 7, read operation).
 func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, config.Cycle) {
+	c.noteCycle(now)
 	la := pa.LineAlign()
 	raw := la.Raw()
 	cipher := c.PCM.ReadLine(raw)
@@ -50,6 +53,7 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 			// decrypts with the memory pad only, yielding unintelligible
 			// bytes — exactly the §VI guarantee.
 			c.st.Inc("mc.key_unavailable")
+			c.journalDFMismatch(kReady, page, fecb.GroupID, fecb.FileID)
 		}
 	}
 
@@ -66,6 +70,7 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 // array write continue in the background (Figure 7, write operation),
 // applying backpressure only when the write queue fills.
 func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line) config.Cycle {
+	c.noteCycle(now)
 	la := pa.LineAlign()
 	raw := la.Raw()
 	c.st.Inc("mc.writes")
@@ -125,6 +130,7 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 			xors++
 		} else {
 			c.st.Inc("mc.key_unavailable")
+			c.journalDFMismatch(kReady, page, fecb.GroupID, fecb.FileID)
 		}
 	}
 
@@ -147,6 +153,14 @@ func (c *Controller) fileActive() bool {
 	return c.mode.FileEncryption && !c.locked
 }
 
+// journalDFMismatch records a DF-tagged access whose file key could not be
+// resolved: the DF bit promised a tunnel that is not open (deleted file,
+// locked datapath, or a stale tag).
+func (c *Controller) journalDFMismatch(now config.Cycle, page uint64, group uint32, file uint16) {
+	c.jrn.Emit(journal.Event{Cycle: uint64(now), Type: journal.DFMismatch,
+		Page: page, Group: group, File: file})
+}
+
 // reencryptPageMem handles a memory-side minor overflow on page: every line
 // is read, stripped of its old memory OTP, and rewritten under the new
 // major counter. Costs 64 reads + 64 writes of the page plus AES work.
@@ -154,12 +168,14 @@ func (c *Controller) reencryptPageMem(now config.Cycle, page uint64, bumpLine in
 	c.st.Inc("mc.mem_reencryptions")
 	m := c.mecb[page]
 	old := *m
-	m.Bump(bumpLine) // wraps: major++, minors reset, minor[bumpLine]=1
+	r := m.Bump(bumpLine) // wraps: major++, minors reset, minor[bumpLine]=1
+	counters.JournalBump(c.jrn, uint64(now), page, counters.DomainMem, r)
 	done := c.reencryptLines(now, page, func(li int, oldPad, newPad *aesctr.Line) {
 		c.memEngine.OTPInto(oldPad, memIV(page, li, old.Major, old.Minor[li]))
 		c.memEngine.OTPInto(newPad, memIV(page, li, m.Major, m.Minor[li]))
 	})
 	c.span("memctrl", "reencrypt_mem", uint64(now), uint64(done))
+	c.jrn.Emit(journal.Event{Cycle: uint64(now), Type: journal.PageReencryptMem, Page: page})
 	return done
 }
 
@@ -169,7 +185,8 @@ func (c *Controller) reencryptPageFile(now config.Cycle, page uint64, bumpLine i
 	c.st.Inc("mc.file_reencryptions")
 	f := c.fecb[page]
 	old := *f
-	f.Bump(bumpLine)
+	r := f.Bump(bumpLine)
+	counters.JournalBump(c.jrn, uint64(now), page, counters.DomainFile, r)
 	key, _, ok := c.lookupKey(now, f.GroupID, f.FileID)
 	if !ok {
 		return now
@@ -180,6 +197,8 @@ func (c *Controller) reencryptPageFile(now config.Cycle, page uint64, bumpLine i
 		eng.OTPInto(newPad, fileIV(page, li, f.Major, f.Minor[li]))
 	})
 	c.span("memctrl", "reencrypt_file", uint64(now), uint64(done))
+	c.jrn.Emit(journal.Event{Cycle: uint64(now), Type: journal.PageReencryptFile,
+		Page: page, Group: f.GroupID, File: f.FileID})
 	return done
 }
 

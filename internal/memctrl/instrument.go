@@ -1,6 +1,10 @@
 package memctrl
 
-import "fsencr/internal/telemetry"
+import (
+	"fsencr/internal/config"
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/telemetry"
+)
 
 // Instrument attaches a telemetry registry to the controller and to every
 // structure it owns (PCM, OTT table + region, Merkle tree). A nil registry
@@ -32,3 +36,29 @@ func (c *Controller) Instrument(reg *telemetry.Registry) {
 func (c *Controller) span(cat, name string, start, end uint64) {
 	c.tel.Span(cat, name, start, end, 0)
 }
+
+// AttachJournal attaches a security-event journal to the controller and to
+// the clock-less structures it owns (OTT table, Merkle tree), which stamp
+// their events with the controller's in-flight request cycle. A nil
+// journal detaches everything; every emit degrades to one predictable
+// branch, which is the compiled-out configuration the overhead guard
+// measures.
+func (c *Controller) AttachJournal(j *journal.Journal) {
+	c.jrn = j
+	clock := func() uint64 { return c.jcycle }
+	if c.ottTable != nil {
+		c.ottTable.AttachJournal(j, clock)
+	}
+	if c.mt != nil {
+		c.mt.AttachJournal(j, clock)
+	}
+}
+
+// Journal returns the attached security-event journal (nil when detached).
+func (c *Controller) Journal() *journal.Journal { return c.jrn }
+
+// noteCycle records the simulated cycle of the request entering the
+// datapath, so journal events emitted from clock-less owned structures
+// carry a meaningful timestamp. One plain store; the field is only read
+// from the simulation goroutine.
+func (c *Controller) noteCycle(now config.Cycle) { c.jcycle = uint64(now) }

@@ -1,0 +1,147 @@
+package memctrl
+
+import (
+	"testing"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/config"
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/stats"
+)
+
+// TestJournalOTTOverflowOrdering drives the OTT-overflow workload with a
+// journal attached and asserts the exact ordered event sequence: three
+// tunnel opens, the capacity eviction, the region refill (which itself
+// evicts the then-LRU entry), and finally the minor-counter overflows with
+// their page re-encryptions — every event stamped with a plausible
+// simulated cycle.
+func TestJournalOTTOverflowOrdering(t *testing.T) {
+	cfg := config.Default()
+	cfg.Security.OTTBanks = 1
+	cfg.Security.OTTEntriesPerBank = 2
+	c := New(cfg, Mode{MemEncryption: true, FileEncryption: true}, stats.NewSet())
+	jrn := journal.New(0)
+	c.AttachJournal(jrn)
+
+	const group = 3
+	pa := addr.Phys(0x40000).WithDF()
+	now := c.InstallKey(0, group, 1, fileKey(1))
+	now = c.TagPage(now, pa, group, 1)
+	now = c.WriteLine(now, pa, lineOf(7))
+
+	// Overflow the 2-entry table: file 1 is LRU and sealed to the region.
+	now = c.InstallKey(now, group, 2, fileKey(2))
+	now = c.InstallKey(now, group, 3, fileKey(3))
+
+	// Touch the evicted file's line: table miss, region hit, refill — which
+	// in turn evicts file 2 (the LRU of the now-full table).
+	_, now = c.ReadLine(now, pa)
+
+	type want struct {
+		typ  journal.Type
+		file uint16
+	}
+	wants := []want{
+		{journal.OTTOpen, 1},
+		{journal.OTTOpen, 2},
+		{journal.OTTEvict, 1},
+		{journal.OTTOpen, 3},
+		{journal.OTTEvict, 2},
+		{journal.OTTRefill, 1},
+	}
+	evs := jrn.Events()
+	if len(evs) != len(wants) {
+		t.Fatalf("events after OTT workload: got %d (%+v), want %d", len(evs), evs, len(wants))
+	}
+	for i, w := range wants {
+		e := evs[i]
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, i)
+		}
+		if e.Type != w.typ || e.Group != group || e.File != w.file {
+			t.Errorf("event %d: got %s group=%d file=%d, want %s group=%d file=%d",
+				i, e.Type, e.Group, e.File, w.typ, group, w.file)
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Errorf("cycles regress at event %d: %d after %d", i, evs[i].Cycle, evs[i-1].Cycle)
+		}
+	}
+	if evs[len(evs)-1].Cycle == 0 {
+		t.Error("refill event carries no simulated-cycle timestamp")
+	}
+
+	// Write the same line until its 7-bit minor counters wrap: the memory
+	// counter overflows first within the write (MECB is handled before
+	// FECB), each overflow pairing with its page re-encryption.
+	base := jrn.Emitted()
+	for i := 0; i < 127; i++ {
+		now = c.WriteLine(now, pa, lineOf(byte(i)))
+	}
+	evs = jrn.Events()[base:]
+	page := pa.LineAlign().PageNum()
+	overflow := []struct {
+		typ    journal.Type
+		detail string
+	}{
+		{journal.CounterOverflow, "mem"},
+		{journal.PageReencryptMem, ""},
+		{journal.CounterOverflow, "file"},
+		{journal.PageReencryptFile, ""},
+	}
+	if len(evs) != len(overflow) {
+		t.Fatalf("events after overflow writes: got %d (%+v), want %d", len(evs), evs, len(overflow))
+	}
+	for i, w := range overflow {
+		e := evs[i]
+		if e.Type != w.typ || e.Page != page || e.Detail != w.detail {
+			t.Errorf("overflow event %d: got %s page=%d detail=%q, want %s page=%d detail=%q",
+				i, e.Type, e.Page, e.Detail, w.typ, page, w.detail)
+		}
+		if e.Cycle == 0 {
+			t.Errorf("overflow event %d (%s) carries no timestamp", i, e.Type)
+		}
+	}
+	if evs[3].File != 1 || evs[3].Group != group {
+		t.Errorf("file re-encryption names group=%d file=%d, want group=%d file=1",
+			evs[3].Group, evs[3].File, group)
+	}
+}
+
+// TestJournalDFMismatch deletes a file's key and touches a line still
+// DF-tagged to it: the journal must record the key-unavailable access.
+func TestJournalDFMismatch(t *testing.T) {
+	cfg := config.Default()
+	c := New(cfg, Mode{MemEncryption: true, FileEncryption: true}, stats.NewSet())
+	jrn := journal.New(0)
+	c.AttachJournal(jrn)
+
+	const group = 5
+	pa := addr.Phys(0x80000).WithDF()
+	now := c.InstallKey(0, group, 9, fileKey(9))
+	now = c.TagPage(now, pa, group, 9)
+	now = c.WriteLine(now, pa, lineOf(1))
+	// Deleting the key leaves the page's DF tag stale: the next read finds
+	// no tunnel on chip or in the region.
+	now = c.RemoveKey(now, group, 9)
+	base := jrn.Emitted()
+
+	_, _ = c.ReadLine(now, pa)
+	evs := jrn.Events()[base:]
+	var hit bool
+	for _, e := range evs {
+		if e.Type == journal.DFMismatch {
+			hit = true
+			if e.Group != group || e.File != 9 {
+				t.Errorf("df_mismatch names group=%d file=%d, want group=%d file=9", e.Group, e.File, group)
+			}
+			if e.Cycle == 0 {
+				t.Error("df_mismatch carries no timestamp")
+			}
+		}
+	}
+	if !hit {
+		t.Fatalf("no df_mismatch event after locked DF read; got %+v", evs)
+	}
+}

@@ -31,14 +31,23 @@ func (c *Controller) lookupKey(now config.Cycle, group uint32, file uint16) (aes
 	if !found {
 		return aesctr.Key{}, ready, false
 	}
-	c.installOTT(ready, entry)
+	c.installOTT(ready, entry, true)
 	return entry.Key, ready, true
 }
 
 // installOTT inserts an entry into the on-chip OTT, sealing any evicted
-// victim into the encrypted OTT region.
-func (c *Controller) installOTT(now config.Cycle, e ott.Entry) {
-	victim, evicted := c.ottTable.Insert(e)
+// victim into the encrypted OTT region. refill marks an entry restored
+// from the region (journalled as ott_refill) as opposed to a fresh tunnel
+// open.
+func (c *Controller) installOTT(now config.Cycle, e ott.Entry, refill bool) {
+	c.noteCycle(now)
+	var victim ott.Entry
+	var evicted bool
+	if refill {
+		victim, evicted = c.ottTable.Refill(e)
+	} else {
+		victim, evicted = c.ottTable.Insert(e)
+	}
 	if !evicted {
 		return
 	}
@@ -73,9 +82,10 @@ func (c *Controller) InstallKey(now config.Cycle, group uint32, file uint16, key
 	if !c.mode.FileEncryption {
 		return now
 	}
+	c.noteCycle(now)
 	c.st.Inc("mc.key_installs")
 	e := ott.Entry{Group: group, File: file, Key: key}
-	c.installOTT(now, e)
+	c.installOTT(now, e, false)
 	bucket := c.ottRegion.Store(e)
 	c.PCM.Access(now, addr.Phys(ottBucketAddr(bucket)), true)
 	c.updateOTTLeaf(bucket)
@@ -88,6 +98,7 @@ func (c *Controller) RemoveKey(now config.Cycle, group uint32, file uint16) conf
 	if !c.mode.FileEncryption {
 		return now
 	}
+	c.noteCycle(now)
 	c.st.Inc("mc.key_removals")
 	c.ottTable.Remove(group, file)
 	if bucket, removed := c.ottRegion.Remove(group, file); removed {
@@ -122,6 +133,7 @@ func (c *Controller) TagPage(now config.Cycle, pa addr.Phys, group uint32, file 
 	if !c.fileActive() {
 		return now
 	}
+	c.noteCycle(now)
 	c.st.Inc("mc.page_tags")
 	page := pa.PageNum()
 	fecb, ready := c.fetchFECB(now, page)
@@ -147,6 +159,7 @@ func (c *Controller) ShredPage(now config.Cycle, pa addr.Phys) config.Cycle {
 	if !c.mode.FileEncryption {
 		return now
 	}
+	c.noteCycle(now)
 	c.st.Inc("mc.page_shreds")
 	page := pa.PageNum()
 	fecb, ready := c.fetchFECB(now, page)

@@ -26,6 +26,7 @@ func (c *Controller) RotateFileKey(now config.Cycle, pa addr.Phys, group uint32,
 	if !c.mode.FileEncryption {
 		return now
 	}
+	c.noteCycle(now)
 	c.st.Inc("mc.key_rotations")
 	page := pa.PageNum()
 	fecb, ready := c.fetchFECB(now, page)

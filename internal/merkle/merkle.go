@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/telemetry"
 )
 
@@ -33,6 +34,25 @@ type Tree struct {
 	tVerFails  *telemetry.Counter
 	tUpdates   *telemetry.Counter
 	tHashDepth *telemetry.Histogram
+
+	// Security-event journal plus the owner-supplied simulated-cycle clock
+	// (the tree itself has no notion of time).
+	jrn    *journal.Journal
+	jclock func() uint64
+}
+
+// AttachJournal attaches a security-event journal and the simulated-cycle
+// clock events are stamped with. A nil journal detaches.
+func (t *Tree) AttachJournal(j *journal.Journal, clock func() uint64) {
+	t.jrn = j
+	t.jclock = clock
+}
+
+func (t *Tree) jcycle() uint64 {
+	if t.jclock == nil {
+		return 0
+	}
+	return t.jclock()
 }
 
 // Instrument attaches telemetry handles. A nil registry detaches.
@@ -140,25 +160,37 @@ func (t *Tree) Update(idx int, content []byte) {
 // any mismatch (tampered or replayed metadata).
 func (t *Tree) Verify(idx int, content []byte) bool {
 	t.tVerifies.Inc()
+	leaf := idx
 	if idx < 0 || idx >= t.NumLeaves() {
-		t.tVerFails.Inc()
+		t.verifyFailed(leaf, 0)
 		return false
 	}
 	if hashLeaf(content) != t.node(0, idx) {
-		t.tVerFails.Inc()
+		t.verifyFailed(leaf, 0)
 		t.tHashDepth.Observe(0)
 		return false
 	}
 	for lvl := 1; lvl < t.levels; lvl++ {
 		idx /= t.arity
 		if t.hashChildren(lvl, idx) != t.node(lvl, idx) {
-			t.tVerFails.Inc()
+			t.verifyFailed(leaf, lvl)
 			t.tHashDepth.Observe(uint64(lvl))
 			return false
 		}
 	}
 	t.tHashDepth.Observe(uint64(t.levels - 1))
 	return true
+}
+
+// verifyFailed accounts one integrity failure. The journal event's Page
+// field carries the failing leaf index (the metadata block, not a data
+// page) and Detail the tree level at which the walk diverged.
+func (t *Tree) verifyFailed(leaf, lvl int) {
+	t.tVerFails.Inc()
+	if t.jrn != nil {
+		t.jrn.Emit(journal.Event{Cycle: t.jcycle(), Type: journal.MerkleVerifyFail,
+			Page: uint64(leaf), Detail: fmt.Sprintf("level=%d", lvl)})
+	}
 }
 
 // NodeID identifies one internal tree node.
@@ -206,4 +238,8 @@ func (t *Tree) Rebuild(leaves map[int][]byte) {
 		}
 		touched = next
 	}
+	// A wholesale rebuild replaces the processor-resident root: recovery
+	// and transport import, the moments an operator auditing the journal
+	// most wants pinned.
+	t.jrn.Emit(journal.Event{Cycle: t.jcycle(), Type: journal.MerkleRootUpdate})
 }

@@ -1,0 +1,175 @@
+// Package journal is the security-event journal of the observability
+// plane: a typed, ordered record of the security-relevant transitions the
+// paper reasons about — minor-counter overflows forcing page
+// re-encryption, OTT evictions to (and refills from) the sealed region,
+// Merkle verification failures — each stamped with the simulated cycle at
+// which it happened, so a journal replay is deterministic across hosts
+// and runner parallelism.
+//
+// The journal is a fixed-capacity, lock-free ring of *Event pointers:
+// emitting is one atomic sequence fetch plus one atomic pointer store, so
+// the hot path never blocks, and readers (the live HTTP plane) observe a
+// consistent most-recent window without stalling the simulation. A nil
+// *Journal is the no-op recorder, mirroring the telemetry registry: an
+// unattached component pays exactly one predictable branch per emit.
+package journal
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+)
+
+// Type identifies the kind of security-relevant transition.
+type Type string
+
+// Event types, grouped by the layer that emits them.
+const (
+	// CounterOverflow: a 7-bit minor counter wrapped; the whole page must
+	// be re-encrypted under the bumped major counter (internal/counters).
+	CounterOverflow Type = "counter_overflow"
+	// CounterMajorWrap: the major counter itself wrapped — for file
+	// counters this demands a key rotation (§VI).
+	CounterMajorWrap Type = "counter_major_wrap"
+
+	// PageReencryptMem / PageReencryptFile: the memory controller swept a
+	// whole page through the datapath swapping OTPs (internal/memctrl).
+	PageReencryptMem  Type = "page_reencrypt_mem"
+	PageReencryptFile Type = "page_reencrypt_file"
+	// DFMismatch: a DF-tagged line reached the datapath but no file key
+	// was resolvable (deleted file, locked controller, or a stale DF bit)
+	// — the access decrypts with the memory pad only.
+	DFMismatch Type = "df_mismatch"
+
+	// OTTOpen / OTTClose: a tunnel (file key) installed into / removed
+	// from the on-chip Open Tunnel Table (internal/ott).
+	OTTOpen  Type = "ott_open"
+	OTTClose Type = "ott_close"
+	// OTTEvict: an LRU victim sealed out to the encrypted OTT region.
+	OTTEvict Type = "ott_evict"
+	// OTTRefill: a key restored on chip from the encrypted OTT region.
+	OTTRefill Type = "ott_refill"
+
+	// MerkleVerifyFail: metadata fetched from NVM failed integrity
+	// verification — tampered or replayed (internal/merkle).
+	MerkleVerifyFail Type = "merkle_verify_fail"
+	// MerkleRootUpdate: the tree was rebuilt wholesale and the
+	// processor-resident root replaced (recovery, transport import).
+	MerkleRootUpdate Type = "merkle_root_update"
+)
+
+// Event is one journal entry. Cycle is the simulated-cycle timestamp of
+// the transition; Seq is the emission order within one journal (reassigned
+// to the global merge order when per-run journals are folded together).
+// The context fields are populated where they apply and omitted otherwise.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Cycle uint64 `json:"cycle"`
+	Type  Type   `json:"type"`
+	Page  uint64 `json:"page,omitempty"`
+	Group uint32 `json:"group,omitempty"`
+	File  uint16 `json:"file,omitempty"`
+	// Detail disambiguates within a type, e.g. the counter domain
+	// ("mem"/"file") of an overflow.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultCapacity is the ring size of a per-run journal. Journal events
+// are rare (overflows, evictions, integrity failures — not per-line
+// traffic), so a few thousand entries cover any realistic run.
+const DefaultCapacity = 4096
+
+// Journal is the fixed-capacity lock-free event ring.
+type Journal struct {
+	slots []atomic.Pointer[Event]
+	next  atomic.Uint64
+}
+
+// New returns a journal retaining up to capacity events (capacity <= 0
+// uses DefaultCapacity).
+func New(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{slots: make([]atomic.Pointer[Event], capacity)}
+}
+
+// Emit appends one event, overwriting the oldest entry when the ring is
+// full. Safe for concurrent use; no-op on a nil journal.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	seq := j.next.Add(1) - 1
+	e.Seq = seq
+	j.slots[seq%uint64(len(j.slots))].Store(&e)
+}
+
+// Emitted returns how many events were ever emitted (including any that
+// have since been overwritten).
+func (j *Journal) Emitted() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.next.Load()
+}
+
+// Drops returns how many events were overwritten before being snapshotted.
+func (j *Journal) Drops() uint64 {
+	if j == nil {
+		return 0
+	}
+	n := j.next.Load()
+	if c := uint64(len(j.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Events returns the retained events oldest-first. Concurrent emitters may
+// be mid-store; a slot whose event does not carry the expected sequence
+// number (overwritten or not yet published) is skipped, so the result is
+// always a consistent, ordered subsequence. With a single emitter — the
+// per-run configuration — the result is exact and deterministic.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	n := j.next.Load()
+	c := uint64(len(j.slots))
+	lo := uint64(0)
+	if n > c {
+		lo = n - c
+	}
+	out := make([]Event, 0, n-lo)
+	for seq := lo; seq < n; seq++ {
+		if e := j.slots[seq%c].Load(); e != nil && e.Seq == seq {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Log is a drained, immutable journal: the retained events of one run in
+// emission order. It is held by pointer so structs embedding a run's
+// journal (e.g. a result record) stay comparable.
+type Log struct {
+	Events []Event
+}
+
+// Drain snapshots the journal into a Log (nil journal drains to an empty
+// log).
+func (j *Journal) Drain() *Log { return &Log{Events: j.Events()} }
+
+// WriteJSONL writes events as JSON Lines: one event object per line, in
+// slice order. The format is the journal's durable sink shape (and what
+// the live plane serves at /journal.jsonl).
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

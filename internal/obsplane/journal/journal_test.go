@@ -1,0 +1,116 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestEmitOrderAndFields(t *testing.T) {
+	j := New(16)
+	j.Emit(Event{Cycle: 100, Type: OTTOpen, Group: 3, File: 7})
+	j.Emit(Event{Cycle: 250, Type: OTTEvict, Group: 3, File: 1})
+	j.Emit(Event{Cycle: 400, Type: CounterOverflow, Page: 9, Detail: "mem"})
+	evs := j.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[0].Type != OTTOpen || evs[0].Group != 3 || evs[0].File != 7 {
+		t.Fatalf("event 0 wrong: %+v", evs[0])
+	}
+	if evs[2].Cycle != 400 || evs[2].Page != 9 || evs[2].Detail != "mem" {
+		t.Fatalf("event 2 wrong: %+v", evs[2])
+	}
+	if j.Emitted() != 3 || j.Drops() != 0 {
+		t.Fatalf("emitted=%d drops=%d", j.Emitted(), j.Drops())
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	j := New(4)
+	for i := 0; i < 10; i++ {
+		j.Emit(Event{Cycle: uint64(i)})
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Oldest retained is seq 6.
+	for i, ev := range evs {
+		if ev.Seq != uint64(6+i) || ev.Cycle != uint64(6+i) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if j.Drops() != 6 {
+		t.Fatalf("drops = %d, want 6", j.Drops())
+	}
+}
+
+func TestNilJournalIsNoop(t *testing.T) {
+	var j *Journal
+	j.Emit(Event{Type: OTTOpen})
+	if j.Events() != nil || j.Emitted() != 0 || j.Drops() != 0 {
+		t.Fatal("nil journal must record nothing")
+	}
+}
+
+func TestConcurrentEmitKeepsConsistentWindow(t *testing.T) {
+	j := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				j.Emit(Event{Cycle: uint64(g*1000 + i), Type: OTTEvict})
+			}
+		}(g)
+	}
+	// A live reader racing the emitters must always see an ordered
+	// subsequence.
+	for r := 0; r < 50; r++ {
+		evs := j.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Fatalf("reader saw out-of-order seqs: %d then %d", evs[i-1].Seq, evs[i].Seq)
+			}
+		}
+	}
+	wg.Wait()
+	if j.Emitted() != 8000 {
+		t.Fatalf("emitted = %d, want 8000", j.Emitted())
+	}
+	if got := len(j.Events()); got != 64 {
+		t.Fatalf("retained %d, want 64", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	events := []Event{
+		{Seq: 0, Cycle: 10, Type: OTTOpen, Group: 1, File: 2},
+		{Seq: 1, Cycle: 20, Type: MerkleVerifyFail, Page: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != 2 || got[0] != events[0] || got[1] != events[1] {
+		t.Fatalf("JSONL round trip lost data: %+v", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package obsplane is the live observability plane: an HTTP serving layer
+// over the telemetry sink and the security-event journal, so a running
+// simulation can be scraped (/metrics), inspected (/snapshot.json,
+// /trace.json, /journal.jsonl), health-checked (/healthz), and profiled
+// (/debug/pprof) without stopping the batch.
+//
+// The server owns no metrics itself: it reads through caller-supplied
+// capture functions (typically core.TelemetrySnapshot and
+// core.JournalEvents), which serialize against the batch merge locks, so a
+// live reader never perturbs what the simulation records — determinism of
+// the exported data is untouched by scrape traffic.
+package obsplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/telemetry"
+)
+
+// DefaultInterval is the periodic publish cadence when Options.Interval is
+// unset.
+const DefaultInterval = time.Second
+
+// Options configures a Server.
+type Options struct {
+	// Snapshot captures the current merged telemetry state. Nil (or a nil
+	// return) serves as an empty snapshot.
+	Snapshot func() *telemetry.Snapshot
+	// Journal captures the current merged security-event journal; nil
+	// serves an empty journal.
+	Journal func() []journal.Event
+	// Interval is the periodic publish cadence (<= 0 uses DefaultInterval).
+	Interval time.Duration
+}
+
+// Server publishes periodic numbered snapshots and serves the live plane.
+type Server struct {
+	opts Options
+
+	mu    sync.Mutex
+	seq   uint64
+	last  *telemetry.Snapshot // last published state, spans stripped
+	delta *telemetry.Snapshot // change since the previous publish
+
+	lis  net.Listener
+	hs   *http.Server
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer builds a server; call Start to bind it or mount Handler
+// yourself.
+func NewServer(opts Options) *Server {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	return &Server{opts: opts}
+}
+
+// capture reads the current telemetry state, tolerating absent sources.
+func (s *Server) capture() *telemetry.Snapshot {
+	if s.opts.Snapshot != nil {
+		if snap := s.opts.Snapshot(); snap != nil {
+			return snap
+		}
+	}
+	return telemetry.NewSnapshot()
+}
+
+func (s *Server) journalEvents() []journal.Event {
+	if s.opts.Journal != nil {
+		return s.opts.Journal()
+	}
+	return nil
+}
+
+// Publish captures a numbered snapshot and computes its delta against the
+// previous publication. The ticker drives it; /snapshot.json also calls it
+// once if nothing has been published yet. Returns the new sequence number.
+func (s *Server) Publish() uint64 {
+	cur := s.capture().WithoutSpans()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delta = telemetry.Diff(s.last, cur)
+	s.last = cur
+	s.seq++
+	return s.seq
+}
+
+// published returns the latest publication, publishing first if none
+// exists yet.
+func (s *Server) published() (seq uint64, last, delta *telemetry.Snapshot) {
+	s.mu.Lock()
+	if s.seq == 0 {
+		s.mu.Unlock()
+		s.Publish()
+		s.mu.Lock()
+	}
+	defer s.mu.Unlock()
+	return s.seq, s.last, s.delta
+}
+
+// Handler returns the plane's route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+	mux.HandleFunc("/trace.json", s.handleTrace)
+	mux.HandleFunc("/journal.jsonl", s.handleJournal)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	seq := s.seq
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"seq\":%d}\n", seq)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Scrapes read the live sink, not the last publication: Prometheus
+	// brings its own cadence.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.capture().WritePrometheus(w)
+}
+
+// snapshotDoc is the /snapshot.json shape: the latest numbered publication
+// plus what changed since the one before it.
+type snapshotDoc struct {
+	Seq      uint64              `json:"seq"`
+	Snapshot *telemetry.Snapshot `json:"snapshot"`
+	Delta    *telemetry.Snapshot `json:"delta"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	seq, last, delta := s.published()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snapshotDoc{Seq: seq, Snapshot: last, Delta: delta})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.capture().WriteChromeTrace(w)
+}
+
+func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = journal.WriteJSONL(w, s.journalEvents())
+}
+
+// Start binds addr (":0" picks a free port), serves the plane in the
+// background, and starts the periodic publisher. It returns the bound
+// address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obsplane: %w", err)
+	}
+	s.lis = lis
+	s.hs = &http.Server{Handler: s.Handler()}
+	s.done = make(chan struct{})
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		_ = s.hs.Serve(lis) // always returns ErrServerClosed on Close
+	}()
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Publish()
+			case <-s.done:
+				return
+			}
+		}
+	}()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the publisher and the HTTP server, waiting for both.
+func (s *Server) Close() error {
+	if s.hs == nil {
+		return nil
+	}
+	close(s.done)
+	err := s.hs.Close()
+	s.wg.Wait()
+	s.hs = nil
+	return err
+}

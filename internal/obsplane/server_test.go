@@ -1,0 +1,152 @@
+package obsplane
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/telemetry"
+)
+
+// fakeSource is a mutable telemetry source standing in for the core sink.
+type fakeSource struct {
+	reads uint64
+	evs   []journal.Event
+}
+
+func (f *fakeSource) snapshot() *telemetry.Snapshot {
+	s := telemetry.NewSnapshot()
+	s.Counters["pcm.reads"] = f.reads
+	s.Runs = 1
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	src := &fakeSource{reads: 42, evs: []journal.Event{
+		{Seq: 0, Cycle: 9, Type: journal.OTTOpen, Group: 1, File: 2},
+	}}
+	srv := NewServer(Options{
+		Snapshot: src.snapshot,
+		Journal:  func() []journal.Event { return src.evs },
+		Interval: time.Hour, // publish only on demand in this test
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	_, body = get(t, base+"/metrics")
+	if !strings.Contains(body, "fsencr_pcm_reads 42") {
+		t.Errorf("/metrics missing live counter:\n%s", body)
+	}
+	if !strings.Contains(body, "fsencr_span_drops_total 0") {
+		t.Errorf("/metrics missing span-drops series:\n%s", body)
+	}
+
+	// First snapshot fetch publishes on demand; the delta of publication #1
+	// is the absolute state.
+	var doc struct {
+		Seq      uint64              `json:"seq"`
+		Snapshot *telemetry.Snapshot `json:"snapshot"`
+		Delta    *telemetry.Snapshot `json:"delta"`
+	}
+	_, body = get(t, base+"/snapshot.json")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/snapshot.json: %v\n%s", err, body)
+	}
+	if doc.Seq != 1 || doc.Snapshot.Counters["pcm.reads"] != 42 || doc.Delta.Counters["pcm.reads"] != 42 {
+		t.Fatalf("/snapshot.json publication #1: %+v", doc)
+	}
+
+	// Advance the source and publish again: the delta carries the change.
+	src.reads = 100
+	srv.Publish()
+	_, body = get(t, base+"/snapshot.json")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Seq != 2 || doc.Snapshot.Counters["pcm.reads"] != 100 || doc.Delta.Counters["pcm.reads"] != 58 {
+		t.Fatalf("/snapshot.json publication #2: %+v", doc)
+	}
+
+	_, body = get(t, base+"/trace.json")
+	if !strings.Contains(body, `"traceEvents"`) {
+		t.Errorf("/trace.json not a Chrome trace:\n%s", body)
+	}
+
+	_, body = get(t, base+"/journal.jsonl")
+	var ev journal.Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &ev); err != nil {
+		t.Fatalf("/journal.jsonl not JSONL: %v\n%s", err, body)
+	}
+	if ev.Type != journal.OTTOpen || ev.Cycle != 9 {
+		t.Errorf("/journal.jsonl event: %+v", ev)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d\n%s", code, body)
+	}
+}
+
+func TestServerNilSources(t *testing.T) {
+	srv := NewServer(Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+	for _, path := range []string{"/healthz", "/metrics", "/snapshot.json", "/trace.json", "/journal.jsonl"} {
+		if code, _ := get(t, base+path); code != http.StatusOK {
+			t.Errorf("%s with nil sources: %d", path, code)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	prev := telemetry.NewSnapshot()
+	prev.Counters["a"] = 10
+	prev.Runs = 2
+	cur := telemetry.NewSnapshot()
+	cur.Counters["a"] = 15
+	cur.Counters["b"] = 3
+	cur.Runs = 5
+	d := telemetry.Diff(prev, cur)
+	if d.Counters["a"] != 5 || d.Counters["b"] != 3 || d.Runs != 3 {
+		t.Fatalf("diff: %+v", d)
+	}
+	// A reset sink (shrinking counter) clamps to the new absolute value.
+	cur.Counters["a"] = 2
+	if d := telemetry.Diff(prev, cur); d.Counters["a"] != 2 {
+		t.Fatalf("diff after reset: %+v", d)
+	}
+	if d := telemetry.Diff(nil, cur); d.Counters["b"] != 3 {
+		t.Fatalf("diff from nil: %+v", d)
+	}
+}

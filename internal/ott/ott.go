@@ -11,6 +11,7 @@ package ott
 
 import (
 	"fsencr/internal/aesctr"
+	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/telemetry"
 )
 
@@ -42,6 +43,13 @@ type Table struct {
 	tEvictions *telemetry.Counter
 	tInserts   *telemetry.Counter
 	tOccupancy *telemetry.Gauge
+
+	// Security-event journal. The table has no clock of its own, so the
+	// owner (the memory controller) supplies one reading the simulated
+	// cycle of the operation in flight.
+	jrn       *journal.Journal
+	jclock    func() uint64
+	refilling bool
 }
 
 // Instrument attaches telemetry handles. A nil registry detaches (all
@@ -52,6 +60,20 @@ func (t *Table) Instrument(reg *telemetry.Registry) {
 	t.tEvictions = reg.Counter("ott.table_evictions")
 	t.tInserts = reg.Counter("ott.table_inserts")
 	t.tOccupancy = reg.Gauge("ott.table_occupancy")
+}
+
+// AttachJournal attaches a security-event journal and the simulated-cycle
+// clock events are stamped with. A nil journal detaches.
+func (t *Table) AttachJournal(j *journal.Journal, clock func() uint64) {
+	t.jrn = j
+	t.jclock = clock
+}
+
+func (t *Table) jcycle() uint64 {
+	if t.jclock == nil {
+		return 0
+	}
+	return t.jclock()
 }
 
 // NewTable builds an OTT with banks*perBank entries.
@@ -126,11 +148,27 @@ func (t *Table) Insert(e Entry) (evicted Entry, hasEvict bool) {
 		hasEvict = true
 		t.Evictions++
 		t.tEvictions.Inc()
+		t.jrn.Emit(journal.Event{Cycle: t.jcycle(), Type: journal.OTTEvict,
+			Group: evicted.Group, File: evicted.File})
 	}
 	victim.e = e
 	victim.valid = true
 	victim.lastUse = t.clock
+	typ := journal.OTTOpen
+	if t.refilling {
+		typ = journal.OTTRefill
+	}
+	t.jrn.Emit(journal.Event{Cycle: t.jcycle(), Type: typ, Group: e.Group, File: e.File})
 	return evicted, hasEvict
+}
+
+// Refill is Insert for an entry restored from the encrypted OTT region:
+// identical mechanics, but the journal records an ott_refill rather than a
+// fresh tunnel open.
+func (t *Table) Refill(e Entry) (evicted Entry, hasEvict bool) {
+	t.refilling = true
+	defer func() { t.refilling = false }()
+	return t.Insert(e)
 }
 
 // Remove deletes the entry for (group, file) if present (file deletion).
@@ -139,6 +177,8 @@ func (t *Table) Remove(group uint32, file uint16) bool {
 		s := &t.slots[i]
 		if s.valid && s.e.Group == group && s.e.File == file {
 			s.valid = false
+			t.jrn.Emit(journal.Event{Cycle: t.jcycle(), Type: journal.OTTClose,
+				Group: group, File: file})
 			return true
 		}
 	}

@@ -56,6 +56,11 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	// Span-ring overwrites are exported unconditionally: a scraper alerting
+	// on trace loss needs the series to exist while it is still zero.
+	if _, err := fmt.Fprintf(w, "# TYPE fsencr_span_drops_total counter\nfsencr_span_drops_total %d\n", s.SpanDrops); err != nil {
+		return err
+	}
 	return nil
 }
 

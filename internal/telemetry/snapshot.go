@@ -95,6 +95,54 @@ func (s *Snapshot) AddCounters(m map[string]uint64) {
 	}
 }
 
+// Diff returns what changed from prev to cur: counter and histogram deltas
+// (monotonic series; a shrinking value means the sink was reset, and the
+// delta clamps to the new absolute value), gauges at their current level
+// (they are occupancy readings, not rates). Spans are omitted — the live
+// plane serves the full trace separately. Either argument may be nil; a nil
+// prev makes the diff equal cur's absolute state.
+func Diff(prev, cur *Snapshot) *Snapshot {
+	d := NewSnapshot()
+	if cur == nil {
+		return d
+	}
+	if prev == nil {
+		prev = NewSnapshot()
+	}
+	for name, v := range cur.Counters {
+		if p := prev.Counters[name]; p <= v {
+			v -= p
+		}
+		d.Counters[name] = v
+	}
+	for name, v := range cur.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, ch := range cur.Histograms {
+		ph := prev.Histograms[name]
+		if ph == nil || ph.Count > ch.Count {
+			ph = &HistogramSnapshot{Buckets: make([]uint64, NumBuckets)}
+		}
+		dh := &HistogramSnapshot{
+			Buckets: make([]uint64, NumBuckets),
+			Count:   ch.Count - ph.Count,
+			Sum:     ch.Sum - ph.Sum,
+			Max:     ch.Max,
+		}
+		for i, c := range ch.Buckets {
+			dh.Buckets[i] = c - ph.Buckets[i]
+		}
+		d.Histograms[name] = dh
+	}
+	if prev.SpanDrops <= cur.SpanDrops {
+		d.SpanDrops = cur.SpanDrops - prev.SpanDrops
+	}
+	if prev.Runs <= cur.Runs {
+		d.Runs = cur.Runs - prev.Runs
+	}
+	return d
+}
+
 // WithoutSpans returns a shallow copy sharing the metric maps but carrying
 // no spans — the shape the bench harness writes per-figure, where traces
 // would dominate the file size.

@@ -187,6 +187,10 @@ func TestWritePrometheus(t *testing.T) {
 		`fsencr_kvstore_put_cycles_bucket{le="+Inf"} 5`,
 		"fsencr_kvstore_put_cycles_sum 116",
 		"fsencr_kvstore_put_cycles_count 5",
+		// Span-ring loss is always exported, even at zero, so scrapers can
+		// alert on it becoming nonzero.
+		"# TYPE fsencr_span_drops_total counter",
+		"fsencr_span_drops_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, text)
