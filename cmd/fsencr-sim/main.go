@@ -23,12 +23,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"fsencr/internal/config"
@@ -213,15 +215,21 @@ func main() {
 
 	if srv != nil {
 		if *linger {
-			fmt.Fprintln(os.Stderr, "fsencr-sim: batch done; still serving (interrupt to exit)")
+			fmt.Fprintln(os.Stderr, "fsencr-sim: batch done; still serving (SIGINT/SIGTERM to exit)")
 			sig := make(chan os.Signal, 1)
-			signal.Notify(sig, os.Interrupt)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 			<-sig
 		} else {
 			// Leave one publish interval for a scraper to catch the final
 			// state before the process exits.
 			time.Sleep(*publishInt)
 		}
-		srv.Close()
+		// Graceful drain: in-flight scrapes finish (bounded), and a final
+		// publication captures the terminal state.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "fsencr-sim: shutdown:", err)
+		}
 	}
 }

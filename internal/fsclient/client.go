@@ -1,0 +1,181 @@
+// Package fsclient is the Go client for fsencrd, the multi-tenant
+// encrypted file service: a thin typed layer over the /v1 JSON API plus a
+// deterministic load generator (loadgen.go).
+//
+// A Client is one authenticated tenant session. Methods mirror the
+// service's operations one-to-one; request structs come from
+// internal/fsproto so client and server agree on shapes and on the
+// tenant -> shard mapping (which a deterministic client needs to assign
+// schedule sequence numbers).
+package fsclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"fsencr/internal/fsproto"
+)
+
+// APIError is a non-2xx response decoded from the service's error body.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // stable fsproto code ("permission", "busy", ...)
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fsencrd: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// IsCode reports whether err is an APIError carrying the given stable code.
+func IsCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+// Client is one session against an fsencrd server.
+type Client struct {
+	base  string
+	hc    *http.Client
+	token string
+	gid   uint32
+	shard int
+}
+
+// Dial points a client at a server base URL (e.g. "http://127.0.0.1:9144").
+// No connection is made until Login.
+func Dial(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// GID returns the tenant group ID echoed by the server at login.
+func (c *Client) GID() uint32 { return c.gid }
+
+// Shard returns the tenant's shard index echoed by the server at login.
+func (c *Client) Shard() int { return c.shard }
+
+// post sends one JSON request and decodes the response into out (nil out
+// discards the body).
+func (c *Client) post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if c.token != "" {
+		hr.Header.Set(fsproto.TokenHeader, c.token)
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var pe fsproto.Error
+		if json.Unmarshal(data, &pe) != nil || pe.Code == "" {
+			pe = fsproto.Error{Code: fsproto.CodeInternal, Message: string(data)}
+		}
+		return &APIError{Status: resp.StatusCode, Code: pe.Code, Message: pe.Message}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Login opens the session. seq is the deterministic-mode schedule position
+// of the login on the tenant's shard; omit it in fair mode.
+func (c *Client) Login(tenant string, uid uint32, passphrase string, seq ...uint64) error {
+	req := fsproto.LoginRequest{Tenant: tenant, UID: uid, Passphrase: passphrase, Seq: seqPtr(seq)}
+	var resp fsproto.LoginResponse
+	if err := c.post("/v1/login", req, &resp); err != nil {
+		return err
+	}
+	c.token, c.gid, c.shard = resp.Token, resp.GID, resp.Shard
+	return nil
+}
+
+// Logout closes the session server-side.
+func (c *Client) Logout() error {
+	err := c.post("/v1/logout", struct{}{}, nil)
+	c.token = ""
+	return err
+}
+
+// Create creates a file in the session tenant's namespace.
+func (c *Client) Create(req fsproto.CreateRequest) error {
+	return c.post("/v1/create", req, nil)
+}
+
+// Read reads a byte range.
+func (c *Client) Read(req fsproto.ReadRequest) ([]byte, error) {
+	var resp fsproto.ReadResponse
+	if err := c.post("/v1/read", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write writes and persists a byte range.
+func (c *Client) Write(req fsproto.WriteRequest) error {
+	return c.post("/v1/write", req, nil)
+}
+
+// Chmod changes permission bits.
+func (c *Client) Chmod(req fsproto.ChmodRequest) error {
+	return c.post("/v1/chmod", req, nil)
+}
+
+// Delete unlinks a file (key removal + page shredding on the shard).
+func (c *Client) Delete(req fsproto.DeleteRequest) error {
+	return c.post("/v1/delete", req, nil)
+}
+
+// KVCreate creates a tenant KV store.
+func (c *Client) KVCreate(req fsproto.KVCreateRequest) error {
+	return c.post("/v1/kv/create", req, nil)
+}
+
+// KVPut stores a value.
+func (c *Client) KVPut(req fsproto.KVPutRequest) error {
+	return c.post("/v1/kv/put", req, nil)
+}
+
+// KVGet fetches a value.
+func (c *Client) KVGet(req fsproto.KVGetRequest) ([]byte, error) {
+	var resp fsproto.KVGetResponse
+	if err := c.post("/v1/kv/get", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// KVDelete removes a key, reporting whether it existed.
+func (c *Client) KVDelete(req fsproto.KVDeleteRequest) (bool, error) {
+	var resp fsproto.KVDeleteResponse
+	if err := c.post("/v1/kv/delete", req, &resp); err != nil {
+		return false, err
+	}
+	return resp.Existed, nil
+}
+
+// seqPtr turns an optional variadic sequence number into the wire shape.
+func seqPtr(seq []uint64) fsproto.Seq {
+	if len(seq) == 0 {
+		return nil
+	}
+	s := seq[0]
+	return &s
+}

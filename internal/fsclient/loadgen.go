@@ -1,0 +1,341 @@
+package fsclient
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fsencr/internal/fsproto"
+	"fsencr/internal/sim"
+)
+
+// Loadgen op kinds.
+const (
+	lgLogin = iota
+	lgCreate
+	lgWrite
+	lgRead
+	lgCrossRead
+	lgLogout
+)
+
+// lgOp is one precomputed operation of the load schedule.
+type lgOp struct {
+	kind   int
+	off    uint64
+	n      int
+	victim int         // lgCrossRead: client whose file is probed
+	seq    fsproto.Seq // per-shard schedule position (deterministic mode)
+}
+
+// LoadgenOptions configures RunLoadgen.
+type LoadgenOptions struct {
+	// Clients is the number of concurrent sessions (default 8).
+	Clients int
+	// Tenants is the number of distinct tenants the clients are spread
+	// over round-robin (default 2).
+	Tenants int
+	// Ops is the number of data operations per client after setup
+	// (default 64).
+	Ops int
+	// Mix weights reads against writes: "3:1", or "read:write" for 1:1.
+	Mix string
+	// Seed drives the per-client operation RNGs.
+	Seed uint64
+	// Deterministic assigns per-shard schedule sequence numbers so a
+	// deterministic server admits the exact same op order every run.
+	// Shards must then match the server's shard count.
+	Deterministic bool
+	Shards        int
+	// CrossEvery makes every Nth data op a cross-tenant read probe — the
+	// access the kernel must deny (0 disables; default 8).
+	CrossEvery int
+}
+
+func (o *LoadgenOptions) defaults() {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 2
+	}
+	if o.Tenants > o.Clients {
+		o.Tenants = o.Clients
+	}
+	if o.Ops <= 0 {
+		o.Ops = 64
+	}
+	if o.CrossEvery == 0 {
+		o.CrossEvery = 8
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+}
+
+// LoadgenReport is the outcome of one load run.
+type LoadgenReport struct {
+	Clients int
+	Tenants int
+	Ops     uint64 // operations attempted, setup included
+
+	Reads  uint64
+	Writes uint64
+
+	CrossProbes uint64 // cross-tenant read attempts
+	CrossDenied uint64 // ... denied by permission bits or the per-file key
+
+	Busy   uint64 // backpressure rejections
+	Errors uint64 // unexpected failures
+	// Leaks counts cross-tenant probes that returned data, plus own-file
+	// reads of previously-written ranges observing any byte other than the
+	// client's own pattern. Zero is the isolation acceptance criterion.
+	Leaks      uint64
+	FirstError string
+}
+
+func (r *LoadgenReport) String() string {
+	return fmt.Sprintf("clients %d tenants %d ops %d reads %d writes %d cross-probes %d cross-denied %d busy %d errors %d leaks %d",
+		r.Clients, r.Tenants, r.Ops, r.Reads, r.Writes, r.CrossProbes, r.CrossDenied, r.Busy, r.Errors, r.Leaks)
+}
+
+// Loadgen shape shared by both ends of a deterministic run.
+const (
+	lgPageSize = 4096
+	lgPages    = 4
+	lgFileSize = lgPages * lgPageSize
+	lgIOSize   = 256
+)
+
+// Per-client identity helpers. Deterministic functions of the client
+// index, so reruns place the same tenants on the same shards.
+func lgTenant(c, tenants int) string { return fmt.Sprintf("tenant%02d", c%tenants) }
+func lgFile(c int) string            { return fmt.Sprintf("f%03d.dat", c) }
+func lgPassphrase(c, tenants int) string {
+	return "pw-" + lgTenant(c, tenants) + fmt.Sprintf("-u%d", c)
+}
+
+// Pattern returns client c's fill byte. Reads of the client's own file
+// must observe only zero or this byte; anything else is a leak.
+func Pattern(c int) byte { return byte('A' + c%26) }
+
+// parseMix parses "R:W" integer weights; the words "read"/"write" weigh 1.
+func parseMix(mix string) (r, w int) {
+	parts := strings.Split(mix, ":")
+	if len(parts) == 2 {
+		ri, errR := strconv.Atoi(strings.TrimSpace(parts[0]))
+		wi, errW := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if errR == nil && errW == nil && ri >= 0 && wi >= 0 && ri+wi > 0 {
+			return ri, wi
+		}
+	}
+	return 1, 1
+}
+
+// crossVictim picks a deterministic client in a different tenant (-1 when
+// every client shares one tenant).
+func crossVictim(c, clients, tenants int) int {
+	for d := 1; d < clients; d++ {
+		v := (c + d) % clients
+		if v%tenants != c%tenants {
+			return v
+		}
+	}
+	return -1
+}
+
+// buildSchedule precomputes every client's op list. In deterministic mode
+// it also assigns per-shard sequence numbers by walking clients
+// round-robin — one global total order — so each shard's admission order
+// is a pure function of (seed, client count), and the interleaving is
+// deadlock-free: every client issues its ops in global-order positions,
+// so the lowest unexecuted position is always issuable.
+func buildSchedule(o LoadgenOptions) [][]lgOp {
+	readW, writeW := parseMix(o.Mix)
+	ops := make([][]lgOp, o.Clients)
+	for c := 0; c < o.Clients; c++ {
+		rng := sim.NewRNG(o.Seed<<20 + uint64(c) + 1)
+		victim := crossVictim(c, o.Clients, o.Tenants)
+		list := []lgOp{
+			{kind: lgLogin},
+			{kind: lgCreate},
+			// First page fully written so an insider ciphertext dump of
+			// page 0 can be checked against the pattern.
+			{kind: lgWrite, off: 0, n: lgPageSize},
+		}
+		// Chunks this client has written. Reads sample only from these: a
+		// never-written region decrypts NVM zeros through the file OTP,
+		// i.e. reads back as pad bytes, which the leak check must not
+		// mistake for foreign plaintext.
+		written := make([]uint64, 0, lgFileSize/lgIOSize)
+		for off := uint64(0); off < lgPageSize; off += lgIOSize {
+			written = append(written, off)
+		}
+		for i := 0; i < o.Ops; i++ {
+			if o.CrossEvery > 0 && victim >= 0 && (i+1)%o.CrossEvery == 0 {
+				list = append(list, lgOp{kind: lgCrossRead, victim: victim, n: lgIOSize})
+				continue
+			}
+			if rng.Intn(readW+writeW) < readW {
+				off := written[rng.Intn(len(written))]
+				list = append(list, lgOp{kind: lgRead, off: off, n: lgIOSize})
+			} else {
+				off := uint64(rng.Intn(lgFileSize/lgIOSize)) * lgIOSize
+				list = append(list, lgOp{kind: lgWrite, off: off, n: lgIOSize})
+				written = append(written, off)
+			}
+		}
+		list = append(list, lgOp{kind: lgLogout})
+		ops[c] = list
+	}
+	if o.Deterministic {
+		nextSeq := make([]uint64, o.Shards)
+		for round := 0; ; round++ {
+			assigned := false
+			for c := 0; c < o.Clients; c++ {
+				if round >= len(ops[c]) {
+					continue
+				}
+				assigned = true
+				op := &ops[c][round]
+				if op.kind == lgLogout {
+					continue // logout bypasses shard admission
+				}
+				target := c
+				if op.kind == lgCrossRead {
+					target = op.victim
+				}
+				shard := fsproto.ShardIndex(fsproto.TenantGID(lgTenant(target, o.Tenants)), o.Shards)
+				s := nextSeq[shard]
+				nextSeq[shard]++
+				op.seq = &s
+			}
+			if !assigned {
+				break
+			}
+		}
+	}
+	return ops
+}
+
+// RunLoadgen drives one load run against a server and reports what
+// happened. base is the server URL. The run aborts a client on transport
+// errors (which would hole a deterministic schedule) but treats op-level
+// denials as data: expected for cross-tenant probes, counted otherwise.
+func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
+	o.defaults()
+	schedule := buildSchedule(o)
+	rep := &LoadgenReport{Clients: o.Clients, Tenants: o.Tenants}
+
+	var (
+		ops, reads, writes, probes, denied, busy, errs, leaks atomic.Uint64
+		errOnce                                               sync.Once
+		firstErr                                              string
+	)
+	noteErr := func(c int, op lgOp, err error) {
+		errs.Add(1)
+		errOnce.Do(func() { firstErr = fmt.Sprintf("client %d op kind %d: %v", c, op.kind, err) })
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := Dial(base)
+			tenant := lgTenant(c, o.Tenants)
+			pat := Pattern(c)
+			for _, op := range schedule[c] {
+				ops.Add(1)
+				var err error
+				switch op.kind {
+				case lgLogin:
+					if op.seq != nil {
+						err = cl.Login(tenant, uint32(c), lgPassphrase(c, o.Tenants), *op.seq)
+					} else {
+						err = cl.Login(tenant, uint32(c), lgPassphrase(c, o.Tenants))
+					}
+					if err != nil {
+						noteErr(c, op, err)
+						return // nothing else can run without a session
+					}
+					continue
+				case lgLogout:
+					_ = cl.Logout()
+					continue
+				case lgCreate:
+					err = cl.Create(fsproto.CreateRequest{
+						Name: lgFile(c), Perm: 0600, Size: lgFileSize, Encrypted: true, Seq: op.seq,
+					})
+				case lgWrite:
+					data := make([]byte, op.n)
+					for i := range data {
+						data[i] = pat
+					}
+					err = cl.Write(fsproto.WriteRequest{Name: lgFile(c), Offset: op.off, Data: data, Seq: op.seq})
+					if err == nil {
+						writes.Add(1)
+					}
+				case lgRead:
+					var data []byte
+					data, err = cl.Read(fsproto.ReadRequest{Name: lgFile(c), Offset: op.off, Length: op.n, Seq: op.seq})
+					if err == nil {
+						reads.Add(1)
+						// The read range was written by this client, so
+						// every byte must be its own pattern.
+						for _, b := range data {
+							if b != pat {
+								leaks.Add(1)
+								break
+							}
+						}
+					}
+				case lgCrossRead:
+					probes.Add(1)
+					_, err = cl.Read(fsproto.ReadRequest{
+						Name:   lgFile(op.victim),
+						Tenant: lgTenant(op.victim, o.Tenants),
+						Offset: 0, Length: op.n, Seq: op.seq,
+					})
+					if err == nil {
+						// The kernel must deny this: 0600 bits and a
+						// foreign per-file key. Data back = breach.
+						leaks.Add(1)
+						continue
+					}
+					switch {
+					case IsCode(err, fsproto.CodePermission), IsCode(err, fsproto.CodeWrongPassphrase):
+						denied.Add(1)
+					case IsCode(err, fsproto.CodeNotFound):
+						// Victim has not created its file yet (fair mode
+						// interleaving) — acceptable.
+					default:
+						noteErr(c, op, err)
+					}
+					continue
+				}
+				if err != nil {
+					if IsCode(err, fsproto.CodeBusy) {
+						busy.Add(1)
+					} else {
+						noteErr(c, op, err)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	rep.Ops = ops.Load()
+	rep.Reads = reads.Load()
+	rep.Writes = writes.Load()
+	rep.CrossProbes = probes.Load()
+	rep.CrossDenied = denied.Load()
+	rep.Busy = busy.Load()
+	rep.Errors = errs.Load()
+	rep.Leaks = leaks.Load()
+	rep.FirstError = firstErr
+	return rep, nil
+}

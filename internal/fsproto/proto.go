@@ -1,0 +1,211 @@
+// Package fsproto is the wire protocol of fsencrd, the multi-tenant
+// encrypted file service: the JSON request/response shapes of the /v1 API
+// and the tenant-identity mapping both ends must agree on.
+//
+// The mapping functions are protocol, not implementation detail: the
+// server places a tenant's state on the shard derived from its group ID,
+// and a deterministic load generator must assign per-shard sequence
+// numbers with the same mapping to reproduce a schedule exactly.
+package fsproto
+
+import (
+	"hash/fnv"
+
+	"fsencr/internal/counters"
+)
+
+// TenantGID maps a tenant name onto its 18-bit sharing-group ID — the
+// GroupID the kernel sends to the memory controller for every file the
+// tenant owns. The mapping is a stable FNV hash, never zero (gid 0 is
+// reserved), so a tenant lands on the same group and shard across server
+// restarts.
+func TenantGID(tenant string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	gid := h.Sum32() & counters.MaxGroupID
+	if gid == 0 {
+		gid = 1
+	}
+	return gid
+}
+
+// UserUID maps (tenant, uid) onto a nonzero effective kernel uid. Setting
+// a high bit guarantees the result is never 0 (root would bypass every
+// permission check) and keeps uids from different tenants from colliding
+// with small literal uids.
+func UserUID(tenant string, uid uint32) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{':', byte(uid), byte(uid >> 8), byte(uid >> 16), byte(uid >> 24)})
+	return h.Sum32() | 1<<30
+}
+
+// ShardIndex maps a tenant's group ID onto one of n shards.
+func ShardIndex(gid uint32, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(gid % uint32(n))
+}
+
+// TokenHeader carries the session token on authenticated requests.
+const TokenHeader = "X-Fsencr-Token"
+
+// Error is the JSON body of every non-2xx response. Code is stable and
+// machine-checkable; Message is for humans.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Stable error codes.
+const (
+	CodeAuth            = "auth"             // login passphrase mismatch / bad token
+	CodePermission      = "permission"       // Unix permission bits denied the access
+	CodeWrongPassphrase = "wrong_passphrase" // per-file key did not verify
+	CodeNotFound        = "not_found"
+	CodeExists          = "exists"
+	CodeBusy            = "busy"     // per-tenant queue full (backpressure)
+	CodeDraining        = "draining" // server shutting down
+	CodeTimeout         = "timeout"
+	CodeBadRequest      = "bad_request"
+	CodeInternal        = "internal"
+)
+
+// Seq carries the deterministic-mode schedule position of a request. The
+// field is a pointer so "absent" (fair arrival-order mode) is
+// distinguishable from sequence 0.
+//
+// Every op request embeds one; the server's shard admits requests in
+// strictly increasing per-shard sequence order when running
+// deterministically, making per-shard simulated state a pure function of
+// the schedule rather than of network timing.
+type Seq = *uint64
+
+// LoginRequest opens a tenant session. The passphrase becomes the
+// session's keyring master credential: the first login for (tenant, uid)
+// registers it, later logins must present a passphrase deriving the same
+// master key or are rejected with CodeAuth.
+type LoginRequest struct {
+	Tenant     string `json:"tenant"`
+	UID        uint32 `json:"uid"`
+	Passphrase string `json:"passphrase"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// LoginResponse returns the session token.
+type LoginResponse struct {
+	Token string `json:"token"`
+	// GID/Shard echo the server-side placement (useful for debugging and
+	// for deterministic clients cross-checking their own mapping).
+	GID   uint32 `json:"gid"`
+	Shard int    `json:"shard"`
+}
+
+// CreateRequest creates (and for encrypted files, keys) a file in the
+// session tenant's namespace.
+type CreateRequest struct {
+	Name      string `json:"name"`
+	Perm      uint16 `json:"perm"`
+	Size      uint64 `json:"size"`
+	Encrypted bool   `json:"encrypted"`
+	// Passphrase overrides the session passphrase as the file key source
+	// (e.g. a group-shared file key). Empty means the session passphrase.
+	Passphrase string `json:"passphrase,omitempty"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// ReadRequest reads [Offset, Offset+Length) of a file. Tenant targets
+// another tenant's namespace (the cross-tenant case the kernel must deny);
+// empty means the session's own.
+type ReadRequest struct {
+	Name       string `json:"name"`
+	Tenant     string `json:"tenant,omitempty"`
+	Offset     uint64 `json:"offset"`
+	Length     int    `json:"length"`
+	Passphrase string `json:"passphrase,omitempty"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// ReadResponse carries the plaintext bytes (base64 on the wire).
+type ReadResponse struct {
+	Data []byte `json:"data"`
+}
+
+// WriteRequest writes Data at Offset.
+type WriteRequest struct {
+	Name       string `json:"name"`
+	Tenant     string `json:"tenant,omitempty"`
+	Offset     uint64 `json:"offset"`
+	Data       []byte `json:"data"`
+	Passphrase string `json:"passphrase,omitempty"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// ChmodRequest changes permission bits (owner or root only).
+type ChmodRequest struct {
+	Name   string `json:"name"`
+	Tenant string `json:"tenant,omitempty"`
+	Perm   uint16 `json:"perm"`
+	Seq    Seq    `json:"seq,omitempty"`
+}
+
+// DeleteRequest unlinks a file: key removal plus Silent-Shredder page
+// shredding on the shard's machine.
+type DeleteRequest struct {
+	Name   string `json:"name"`
+	Tenant string `json:"tenant,omitempty"`
+	Seq    Seq    `json:"seq,omitempty"`
+}
+
+// OKResponse is the body of operations with no payload.
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// KVCreateRequest creates a tenant key-value store: an encrypted pool
+// file holding a persistent B+Tree (internal/kvstore).
+type KVCreateRequest struct {
+	Store      string `json:"store"`
+	Size       uint64 `json:"size"`
+	Passphrase string `json:"passphrase,omitempty"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// KVPutRequest stores Value under Key.
+type KVPutRequest struct {
+	Store      string `json:"store"`
+	Tenant     string `json:"tenant,omitempty"`
+	Key        uint64 `json:"key"`
+	Value      []byte `json:"value"`
+	Passphrase string `json:"passphrase,omitempty"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// KVGetRequest fetches the value under Key.
+type KVGetRequest struct {
+	Store      string `json:"store"`
+	Tenant     string `json:"tenant,omitempty"`
+	Key        uint64 `json:"key"`
+	Passphrase string `json:"passphrase,omitempty"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// KVGetResponse carries the fetched value.
+type KVGetResponse struct {
+	Value []byte `json:"value"`
+}
+
+// KVDeleteRequest removes Key.
+type KVDeleteRequest struct {
+	Store      string `json:"store"`
+	Tenant     string `json:"tenant,omitempty"`
+	Key        uint64 `json:"key"`
+	Passphrase string `json:"passphrase,omitempty"`
+	Seq        Seq    `json:"seq,omitempty"`
+}
+
+// KVDeleteResponse reports whether the key existed.
+type KVDeleteResponse struct {
+	Existed bool `json:"existed"`
+}

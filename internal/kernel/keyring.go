@@ -33,6 +33,18 @@ func (k *Keyring) Login(uid uint32, passphrase string) {
 // Logout discards the session key.
 func (k *Keyring) Logout(uid uint32) { delete(k.sessions, uid) }
 
+// Verify reports whether uid already holds a session master key
+// (registered) and, if so, whether passphrase derives that same key (ok).
+// A service authenticating returning users checks ok before granting a
+// session; a false ok with registered true is an authentication failure.
+func (k *Keyring) Verify(uid uint32, passphrase string) (registered, ok bool) {
+	stored, registered := k.sessions[uid]
+	if !registered {
+		return false, false
+	}
+	return true, stored == sha256.Sum256([]byte("fekek:"+passphrase))
+}
+
 // HasSession reports whether uid is logged in.
 func (k *Keyring) HasSession(uid uint32) bool {
 	_, ok := k.sessions[uid]

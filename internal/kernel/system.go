@@ -256,6 +256,19 @@ func (s *System) Unlink(p *Process, name string) error {
 	return nil
 }
 
+// Chmod changes a file's permission bits on behalf of p (owner or root
+// only). Note the §VI argument this models: permission bits are advisory
+// next to the per-file key — an over-permissive chmod still leaves
+// encrypted content unreadable without the right passphrase.
+func (s *System) Chmod(p *Process, name string, perm fs.Mode) error {
+	p.core.Compute(s.cfg.Kernel.SyscallLatency)
+	f, err := s.FS.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return s.FS.Chmod(f, p.UID, perm)
+}
+
 // Sync writes back every dirty page-cache page (non-DAX modes).
 func (s *System) Sync(p *Process) {
 	p.core.Compute(s.cfg.Kernel.SyscallLatency)

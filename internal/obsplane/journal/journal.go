@@ -56,6 +56,14 @@ const (
 	// MerkleRootUpdate: the tree was rebuilt wholesale and the
 	// processor-resident root replaced (recovery, transport import).
 	MerkleRootUpdate Type = "merkle_root_update"
+
+	// AuthFailure: a tenant session presented a passphrase that does not
+	// derive the registered keyring master key (internal/server).
+	AuthFailure Type = "auth_failure"
+	// CrossTenantDenied: a session reached into another tenant's
+	// namespace and the kernel denied it — permission bits or a
+	// non-verifying per-file key (internal/server).
+	CrossTenantDenied Type = "cross_tenant_denied"
 )
 
 // Event is one journal entry. Cycle is the simulated-cycle timestamp of

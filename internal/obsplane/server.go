@@ -12,6 +12,7 @@
 package obsplane
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -133,9 +134,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// Scrapes read the live sink, not the last publication: Prometheus
-	// brings its own cadence.
+	// brings its own cadence. Runtime gauges are added to this serving-time
+	// copy only — they never touch the deterministic snapshots.
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = s.capture().WritePrometheus(w)
+	_ = s.capture().AddRuntimeGauges().WritePrometheus(w)
 }
 
 // snapshotDoc is the /snapshot.json shape: the latest numbered publication
@@ -203,6 +205,21 @@ func (s *Server) Close() error {
 	}
 	close(s.done)
 	err := s.hs.Close()
+	s.wg.Wait()
+	s.hs = nil
+	return err
+}
+
+// Shutdown is the graceful Close: the publisher stops, in-flight HTTP
+// requests drain (bounded by ctx), and one final publication is made so
+// scrapers arriving during the drain see the terminal state.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	close(s.done)
+	s.Publish()
+	err := s.hs.Shutdown(ctx)
 	s.wg.Wait()
 	s.hs = nil
 	return err

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fsencr/internal/fs"
+	"fsencr/internal/fsproto"
+	"fsencr/internal/kernel"
+	"fsencr/internal/kvstore"
+	"fsencr/internal/obsplane"
+)
+
+// maxBodyBytes bounds one request body (a page of payload plus JSON
+// overhead).
+const maxBodyBytes = 1 << 20
+
+// httpStatus maps service errors onto (status, stable code).
+func httpStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrAuth):
+		return http.StatusUnauthorized, fsproto.CodeAuth
+	case errors.Is(err, kernel.ErrWrongPassphrase):
+		return http.StatusForbidden, fsproto.CodeWrongPassphrase
+	case errors.Is(err, kernel.ErrPermission), errors.Is(err, fs.ErrPermEperm):
+		return http.StatusForbidden, fsproto.CodePermission
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, kvstore.ErrNotFound):
+		return http.StatusNotFound, fsproto.CodeNotFound
+	case errors.Is(err, fs.ErrExists):
+		return http.StatusConflict, fsproto.CodeExists
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests, fsproto.CodeBusy
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, fsproto.CodeDraining
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, fsproto.CodeTimeout
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, fsproto.CodeBadRequest
+	default:
+		return http.StatusInternalServerError, fsproto.CodeInternal
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (svc *Service) writeError(w http.ResponseWriter, err error) {
+	status, code := httpStatus(err)
+	svc.cErrs.Inc()
+	if code == fsproto.CodeBusy {
+		svc.cBusy.Inc()
+	}
+	writeJSON(w, status, fsproto.Error{Code: code, Message: err.Error()})
+}
+
+// decode reads and unmarshals a bounded JSON body.
+func decode(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// handler is an authenticated API endpoint.
+type handler func(sess *Session, r *http.Request) (any, error)
+
+// endpoint wraps a handler with method check, latency observation, and
+// session resolution.
+func (svc *Service) endpoint(h handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		svc.cReqs.Inc()
+		defer func() { svc.hReqNs.Observe(uint64(time.Since(start))) }()
+		if r.Method != http.MethodPost {
+			svc.writeError(w, fmt.Errorf("%w: POST required", ErrBadRequest))
+			return
+		}
+		sess, err := svc.session(r.Header.Get(fsproto.TokenHeader))
+		if err != nil {
+			svc.writeError(w, err)
+			return
+		}
+		v, err := h(sess, r)
+		if err != nil {
+			svc.writeError(w, err)
+			return
+		}
+		if v == nil {
+			v = fsproto.OKResponse{OK: true}
+		}
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	svc.cReqs.Inc()
+	defer func() { svc.hReqNs.Observe(uint64(time.Since(start))) }()
+	var req fsproto.LoginRequest
+	if err := decode(r, &req); err != nil {
+		svc.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), svc.opts.RequestTimeout)
+	defer cancel()
+	var seq uint64
+	if req.Seq != nil {
+		seq = *req.Seq
+	}
+	sess, err := svc.Login(ctx, req.Tenant, req.UID, req.Passphrase, seq)
+	if err != nil {
+		svc.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fsproto.LoginResponse{
+		Token: sess.token,
+		GID:   sess.gid,
+		Shard: fsproto.ShardIndex(sess.gid, len(svc.shards)),
+	})
+}
+
+// handleShardsProm serves every shard's deterministic snapshot in
+// Prometheus text format, one "# shard N" section each — the surface the
+// determinism acceptance check byte-compares across reruns.
+func (svc *Service) handleShardsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, sh := range svc.shards {
+		fmt.Fprintf(w, "# shard %d\n", sh.ID())
+		_ = sh.Snapshot().WritePrometheus(w)
+	}
+}
+
+// handleShardsJSON serves the same state as JSON.
+func (svc *Service) handleShardsJSON(w http.ResponseWriter, _ *http.Request) {
+	type shardDoc struct {
+		Shard    int `json:"shard"`
+		Snapshot any `json:"snapshot"`
+	}
+	docs := make([]shardDoc, 0, len(svc.shards))
+	for _, sh := range svc.shards {
+		docs = append(docs, shardDoc{Shard: sh.ID(), Snapshot: sh.Snapshot().WithoutSpans()})
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+// Mux returns the full fsencrd route set: the /v1 API, the per-shard
+// determinism surfaces, and the live observability plane (/metrics,
+// /snapshot.json, /trace.json, /journal.jsonl, /healthz, /debug/pprof)
+// backed by the service's merged telemetry and journals.
+func (svc *Service) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/login", svc.handleLogin)
+	mux.HandleFunc("/v1/logout", svc.endpoint(func(sess *Session, _ *http.Request) (any, error) {
+		svc.Logout(sess.token)
+		return nil, nil
+	}))
+	mux.HandleFunc("/v1/create", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.CreateRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		return nil, svc.Create(r.Context(), sess, req)
+	}))
+	mux.HandleFunc("/v1/read", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.ReadRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		data, err := svc.Read(r.Context(), sess, req)
+		if err != nil {
+			return nil, err
+		}
+		return fsproto.ReadResponse{Data: data}, nil
+	}))
+	mux.HandleFunc("/v1/write", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.WriteRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		return nil, svc.Write(r.Context(), sess, req)
+	}))
+	mux.HandleFunc("/v1/chmod", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.ChmodRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		return nil, svc.Chmod(r.Context(), sess, req)
+	}))
+	mux.HandleFunc("/v1/delete", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.DeleteRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		return nil, svc.Delete(r.Context(), sess, req)
+	}))
+	mux.HandleFunc("/v1/kv/create", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.KVCreateRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		return nil, svc.KVCreate(r.Context(), sess, req)
+	}))
+	mux.HandleFunc("/v1/kv/put", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.KVPutRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		return nil, svc.KVPut(r.Context(), sess, req)
+	}))
+	mux.HandleFunc("/v1/kv/get", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.KVGetRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		val, err := svc.KVGet(r.Context(), sess, req)
+		if err != nil {
+			return nil, err
+		}
+		return fsproto.KVGetResponse{Value: val}, nil
+	}))
+	mux.HandleFunc("/v1/kv/delete", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.KVDeleteRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		existed, err := svc.KVDelete(r.Context(), sess, req)
+		if err != nil {
+			return nil, err
+		}
+		return fsproto.KVDeleteResponse{Existed: existed}, nil
+	}))
+	mux.HandleFunc("/shards.prom", svc.handleShardsProm)
+	mux.HandleFunc("/shards.json", svc.handleShardsJSON)
+
+	obs := obsplane.NewServer(obsplane.Options{
+		Snapshot: svc.MetricsSnapshot,
+		Journal:  svc.JournalEvents,
+	})
+	mux.Handle("/", obs.Handler())
+	return mux
+}

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/fs"
+	"fsencr/internal/fsproto"
+	"fsencr/internal/kernel"
+	"fsencr/internal/kvstore"
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/pmem"
+)
+
+// ErrBadRequest reports a malformed operation (range beyond EOF, oversize
+// value, missing name).
+var ErrBadRequest = errors.New("server: bad request")
+
+// maxKVValue bounds KV values to one page (the paper's "large" value size).
+const maxKVValue = 4096
+
+// sessState is a session's per-shard state: its simulated process, its
+// file mappings, and its open KV handles. Created and touched exclusively
+// by the owning shard's worker goroutine.
+type sessState struct {
+	proc *kernel.Process
+	maps map[uint16]addr.Virt // ino -> base va (inos are never reused)
+	kv   map[string]*kvHandle // full store name -> handle
+}
+
+type kvHandle struct {
+	pool *pmem.Pool
+	tree *kvstore.BTree
+}
+
+// state returns (creating lazily) the session's state on this shard.
+// Worker-goroutine only.
+func (sh *Shard) state(sess *Session) *sessState {
+	st := sess.st[sh.id]
+	if st == nil {
+		st = &sessState{maps: make(map[uint16]addr.Virt), kv: make(map[string]*kvHandle)}
+		sess.st[sh.id] = st
+	}
+	return st
+}
+
+// proc returns (creating lazily) the session's process on this shard.
+func (sh *Shard) proc(sess *Session) *kernel.Process {
+	st := sh.state(sess)
+	if st.proc == nil {
+		st.proc = sh.Sys.NewProcess(sess.uid, sess.gid)
+	}
+	return st.proc
+}
+
+// mapping returns the session's mapping of f, mmapping the whole file on
+// first use. Inode numbers are never reused by the fs, so a cached va can
+// only go stale by deletion — in which case the preceding Lookup fails
+// first.
+func (sh *Shard) mapping(sess *Session, f *fs.File) (addr.Virt, error) {
+	st := sh.state(sess)
+	if va, ok := st.maps[f.Ino]; ok {
+		return va, nil
+	}
+	va, err := sh.proc(sess).Mmap(f, f.Size)
+	if err != nil {
+		return 0, err
+	}
+	st.maps[f.Ino] = va
+	return va, nil
+}
+
+// target is a resolved operation destination: possibly another tenant's
+// namespace on another shard.
+type target struct {
+	tenant string
+	gid    uint32
+	sh     *Shard
+	cross  bool
+}
+
+// resolve maps a request's optional tenant override to its shard.
+func (svc *Service) resolve(sess *Session, tenantOverride string) target {
+	t := target{tenant: sess.tenant, gid: sess.gid}
+	if tenantOverride != "" && tenantOverride != sess.tenant {
+		t.tenant = tenantOverride
+		t.gid = fsproto.TenantGID(tenantOverride)
+		t.cross = true
+	}
+	t.sh = svc.shardFor(t.gid)
+	return t
+}
+
+// fullName prefixes a file name with its tenant namespace.
+func fullName(tenant, name string) string { return tenant + "/" + name }
+
+// pass picks the file passphrase: explicit override or the session's.
+func pass(sess *Session, override string) string {
+	if override != "" {
+		return override
+	}
+	return sess.pass
+}
+
+// deniedKind classifies kernel denials for the security journal.
+func deniedKind(err error) bool {
+	return errors.Is(err, kernel.ErrPermission) ||
+		errors.Is(err, kernel.ErrWrongPassphrase) ||
+		errors.Is(err, fs.ErrPermEperm)
+}
+
+// noteDenial records a cross-tenant denial in the target shard's journal
+// (worker goroutine, so the event lands in deterministic admission order)
+// and on the host-side counter.
+func (svc *Service) noteDenial(sh *Shard, sess *Session, tgt target, err error) {
+	if !tgt.cross || !deniedKind(err) {
+		return
+	}
+	sh.Jrn.Emit(journal.Event{
+		Cycle:  uint64(sh.proc(sess).Now()),
+		Type:   journal.CrossTenantDenied,
+		Group:  tgt.gid,
+		Detail: fmt.Sprintf("from %s", sess.tenant),
+	})
+	svc.cXDenied.Inc()
+}
+
+// do wraps shard submission with the service's request timeout.
+func (svc *Service) do(ctx context.Context, sh *Shard, gid uint32, seq fsproto.Seq, fn func() (any, error)) (any, error) {
+	ctx, cancel := context.WithTimeout(ctx, svc.opts.RequestTimeout)
+	defer cancel()
+	var s uint64
+	if seq != nil {
+		s = *seq
+	}
+	return sh.Do(ctx, gid, s, fn)
+}
+
+// Create creates a file in the session tenant's own namespace.
+func (svc *Service) Create(ctx context.Context, sess *Session, req fsproto.CreateRequest) error {
+	if req.Name == "" {
+		return fmt.Errorf("%w: name required", ErrBadRequest)
+	}
+	sh := svc.shardFor(sess.gid)
+	_, err := svc.do(ctx, sh, sess.gid, req.Seq, func() (any, error) {
+		p := sh.proc(sess)
+		_, err := sh.Sys.CreateFile(p, fullName(sess.tenant, req.Name),
+			fs.Mode(req.Perm), req.Size, req.Encrypted, pass(sess, req.Passphrase))
+		return nil, err
+	})
+	return err
+}
+
+// Read reads a byte range; the kernel enforces permissions and verifies
+// the per-file key, so a cross-tenant or wrong-passphrase attempt fails
+// without a single plaintext byte leaving the shard.
+func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadRequest) ([]byte, error) {
+	if req.Name == "" || req.Length < 0 {
+		return nil, fmt.Errorf("%w: name and non-negative length required", ErrBadRequest)
+	}
+	tgt := svc.resolve(sess, req.Tenant)
+	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		p := tgt.sh.proc(sess)
+		f, err := tgt.sh.Sys.OpenFile(p, fullName(tgt.tenant, req.Name), fs.ReadAccess, pass(sess, req.Passphrase))
+		if err != nil {
+			svc.noteDenial(tgt.sh, sess, tgt, err)
+			return nil, err
+		}
+		if req.Offset+uint64(req.Length) > f.Size {
+			return nil, fmt.Errorf("%w: read [%d,%d) beyond EOF %d", ErrBadRequest, req.Offset, req.Offset+uint64(req.Length), f.Size)
+		}
+		va, err := tgt.sh.mapping(sess, f)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, req.Length)
+		if err := p.Read(va+addr.Virt(req.Offset), buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// Write stores bytes at an offset and persists them (CLWB+SFENCE under
+// DAX).
+func (svc *Service) Write(ctx context.Context, sess *Session, req fsproto.WriteRequest) error {
+	if req.Name == "" {
+		return fmt.Errorf("%w: name required", ErrBadRequest)
+	}
+	tgt := svc.resolve(sess, req.Tenant)
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		p := tgt.sh.proc(sess)
+		f, err := tgt.sh.Sys.OpenFile(p, fullName(tgt.tenant, req.Name), fs.WriteAccess, pass(sess, req.Passphrase))
+		if err != nil {
+			svc.noteDenial(tgt.sh, sess, tgt, err)
+			return nil, err
+		}
+		if req.Offset+uint64(len(req.Data)) > f.Size {
+			return nil, fmt.Errorf("%w: write [%d,%d) beyond EOF %d", ErrBadRequest, req.Offset, req.Offset+uint64(len(req.Data)), f.Size)
+		}
+		va, err := tgt.sh.mapping(sess, f)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Write(va+addr.Virt(req.Offset), req.Data); err != nil {
+			return nil, err
+		}
+		return nil, p.Persist(va+addr.Virt(req.Offset), uint64(len(req.Data)))
+	})
+	return err
+}
+
+// Chmod changes permission bits (owner or root only).
+func (svc *Service) Chmod(ctx context.Context, sess *Session, req fsproto.ChmodRequest) error {
+	if req.Name == "" {
+		return fmt.Errorf("%w: name required", ErrBadRequest)
+	}
+	tgt := svc.resolve(sess, req.Tenant)
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		err := tgt.sh.Sys.Chmod(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name), fs.Mode(req.Perm))
+		if err != nil {
+			svc.noteDenial(tgt.sh, sess, tgt, err)
+		}
+		return nil, err
+	})
+	return err
+}
+
+// Delete unlinks a file: the controller drops its key and shreds its
+// pages, so the bytes are gone even for holders of the old passphrase.
+func (svc *Service) Delete(ctx context.Context, sess *Session, req fsproto.DeleteRequest) error {
+	if req.Name == "" {
+		return fmt.Errorf("%w: name required", ErrBadRequest)
+	}
+	tgt := svc.resolve(sess, req.Tenant)
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		err := tgt.sh.Sys.Unlink(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name))
+		if err != nil {
+			svc.noteDenial(tgt.sh, sess, tgt, err)
+		}
+		return nil, err
+	})
+	return err
+}
+
+// kvName namespaces a store under its tenant.
+func kvName(tenant, store string) string { return tenant + "/kv/" + store }
+
+// kvHandleFor opens (or returns the cached) per-session view of a store:
+// permission check through OpenFile, then a pmem pool mapping in the
+// session's own process. Worker-goroutine only.
+func (sh *Shard) kvHandleFor(sess *Session, tenant, store, passphrase string, want fs.Access) (*kvHandle, error) {
+	st := sh.state(sess)
+	full := kvName(tenant, store)
+	if h, ok := st.kv[full]; ok {
+		return h, nil
+	}
+	p := sh.proc(sess)
+	f, err := sh.Sys.OpenFile(p, full, want, passphrase)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := pmem.Open(p, f, f.Size)
+	if err != nil {
+		return nil, err
+	}
+	tree := kvstore.Open(pool, 0)
+	tree.Instrument(sh.Reg)
+	h := &kvHandle{pool: pool, tree: tree}
+	st.kv[full] = h
+	return h, nil
+}
+
+// KVCreate creates an encrypted pool file holding a persistent B+Tree.
+func (svc *Service) KVCreate(ctx context.Context, sess *Session, req fsproto.KVCreateRequest) error {
+	if req.Store == "" || req.Size == 0 {
+		return fmt.Errorf("%w: store and size required", ErrBadRequest)
+	}
+	sh := svc.shardFor(sess.gid)
+	_, err := svc.do(ctx, sh, sess.gid, req.Seq, func() (any, error) {
+		p := sh.proc(sess)
+		full := kvName(sess.tenant, req.Store)
+		// 0660: group-shared within the tenant; the per-file key (from the
+		// store passphrase) still gates every other tenant out.
+		f, err := sh.Sys.CreateFile(p, full, 0660, req.Size, true, pass(sess, req.Passphrase))
+		if err != nil {
+			return nil, err
+		}
+		pool, err := pmem.Create(p, f, req.Size)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := kvstore.Create(pool, 0)
+		if err != nil {
+			return nil, err
+		}
+		tree.Instrument(sh.Reg)
+		sh.state(sess).kv[full] = &kvHandle{pool: pool, tree: tree}
+		return nil, nil
+	})
+	return err
+}
+
+// KVPut stores a value.
+func (svc *Service) KVPut(ctx context.Context, sess *Session, req fsproto.KVPutRequest) error {
+	if req.Store == "" || len(req.Value) > maxKVValue {
+		return fmt.Errorf("%w: store required, value <= %d bytes", ErrBadRequest, maxKVValue)
+	}
+	tgt := svc.resolve(sess, req.Tenant)
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
+		if err != nil {
+			svc.noteDenial(tgt.sh, sess, tgt, err)
+			return nil, err
+		}
+		return nil, h.tree.Put(req.Key, req.Value)
+	})
+	return err
+}
+
+// KVGet fetches a value.
+func (svc *Service) KVGet(ctx context.Context, sess *Session, req fsproto.KVGetRequest) ([]byte, error) {
+	if req.Store == "" {
+		return nil, fmt.Errorf("%w: store required", ErrBadRequest)
+	}
+	tgt := svc.resolve(sess, req.Tenant)
+	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.ReadAccess)
+		if err != nil {
+			svc.noteDenial(tgt.sh, sess, tgt, err)
+			return nil, err
+		}
+		buf := make([]byte, maxKVValue)
+		n, err := h.tree.Get(req.Key, buf)
+		if err != nil {
+			return nil, err
+		}
+		return buf[:n], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// KVDelete removes a key.
+func (svc *Service) KVDelete(ctx context.Context, sess *Session, req fsproto.KVDeleteRequest) (bool, error) {
+	if req.Store == "" {
+		return false, fmt.Errorf("%w: store required", ErrBadRequest)
+	}
+	tgt := svc.resolve(sess, req.Tenant)
+	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
+		if err != nil {
+			svc.noteDenial(tgt.sh, sess, tgt, err)
+			return nil, err
+		}
+		return h.tree.Delete(req.Key)
+	})
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}

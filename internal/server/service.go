@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsencr/internal/config"
+	"fsencr/internal/fsproto"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/telemetry"
+)
+
+// ErrAuth reports a failed login: the (tenant, uid) pair already holds a
+// keyring master key and the presented passphrase does not derive it.
+var ErrAuth = errors.New("server: authentication failed")
+
+// errBadToken reports a request carrying no (or an unknown) session token.
+var errBadToken = fmt.Errorf("%w: unknown session token", ErrAuth)
+
+// DefaultRequestTimeout bounds how long a request may wait for its shard
+// (queueing plus execution) before the handler gives up.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Options configures a Service.
+type Options struct {
+	// Shards is the number of simulated machines (<= 0 means 1).
+	Shards int
+	// MCMode/Access select the protection scheme each shard boots with
+	// (typically core.SchemeFsEncr's: memory + file encryption, DAX).
+	MCMode memctrl.Mode
+	Access kernel.AccessMode
+	// Cfg overrides the Table III machine configuration when non-nil.
+	Cfg *config.Config
+	// Deterministic switches every shard to schedule-sequence admission.
+	Deterministic bool
+	// PerTenantQueue bounds fair-mode per-tenant queues (<= 0 default).
+	PerTenantQueue int
+	// RequestTimeout bounds one request's queue+execute time (<= 0 default).
+	RequestTimeout time.Duration
+}
+
+// Session is one authenticated tenant session.
+type Session struct {
+	token  string
+	tenant string
+	gid    uint32
+	uid    uint32 // effective kernel uid (never 0)
+	pass   string // keyring passphrase; default file-key source
+
+	// st[i] is the session's state on shard i, created and touched only
+	// by that shard's worker goroutine.
+	st []*sessState
+}
+
+// Service is the multi-tenant file service: the shard pool, the session
+// table, and the host-side observability registry.
+type Service struct {
+	opts   Options
+	shards []*Shard
+
+	// reg is the host-side registry: request latencies in wall-clock
+	// nanoseconds, queue depths, denial counters. Deliberately separate
+	// from the per-shard deterministic registries.
+	reg       *telemetry.Registry
+	hReqNs    *telemetry.Histogram
+	cReqs     *telemetry.Counter
+	cErrs     *telemetry.Counter
+	cAuthFail *telemetry.Counter
+	cXDenied  *telemetry.Counter
+	cBusy     *telemetry.Counter
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	closed   bool
+	tokSeq   atomic.Uint64
+}
+
+// New builds the service and boots its shards.
+func New(opts Options) *Service {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	cfg := config.Default()
+	if opts.Cfg != nil {
+		cfg = *opts.Cfg
+	}
+	reg := telemetry.New()
+	svc := &Service{
+		opts:      opts,
+		reg:       reg,
+		hReqNs:    reg.Histogram("server.request_ns"),
+		cReqs:     reg.Counter("server.requests_total"),
+		cErrs:     reg.Counter("server.request_errors_total"),
+		cAuthFail: reg.Counter("server.auth_failures_total"),
+		cXDenied:  reg.Counter("server.cross_tenant_denials_total"),
+		cBusy:     reg.Counter("server.busy_rejections_total"),
+		sessions:  make(map[string]*Session),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		svc.shards = append(svc.shards,
+			NewShard(i, cfg, opts.MCMode, opts.Access, opts.Deterministic, opts.PerTenantQueue, reg))
+	}
+	return svc
+}
+
+// Shards exposes the shard pool (tests, in-process inspection).
+func (svc *Service) Shards() []*Shard { return svc.shards }
+
+// Registry exposes the host-side registry.
+func (svc *Service) Registry() *telemetry.Registry { return svc.reg }
+
+// shardFor places a tenant group on its shard.
+func (svc *Service) shardFor(gid uint32) *Shard {
+	return svc.shards[fsproto.ShardIndex(gid, len(svc.shards))]
+}
+
+// Login authenticates (tenant, uid, passphrase) and opens a session. The
+// keyring on the tenant's shard is the credential store: first login
+// registers the passphrase-derived master key, later logins must match it.
+func (svc *Service) Login(ctx context.Context, tenant string, uid uint32, passphrase string, seq uint64) (*Session, error) {
+	if tenant == "" || passphrase == "" {
+		return nil, fmt.Errorf("%w: tenant and passphrase required", ErrAuth)
+	}
+	gid := fsproto.TenantGID(tenant)
+	euid := fsproto.UserUID(tenant, uid)
+	sh := svc.shardFor(gid)
+	_, err := sh.Do(ctx, gid, seq, func() (any, error) {
+		registered, ok := sh.Sys.Keyring.Verify(euid, passphrase)
+		if registered && !ok {
+			sh.Jrn.Emit(journal.Event{
+				Cycle:  uint64(sh.Sys.M.MaxCoreTime()),
+				Type:   journal.AuthFailure,
+				Group:  gid,
+				Detail: fmt.Sprintf("tenant %s uid %d", tenant, uid),
+			})
+			svc.cAuthFail.Inc()
+			return nil, fmt.Errorf("%w: tenant %s uid %d", ErrAuth, tenant, uid)
+		}
+		if !registered {
+			sh.Sys.Keyring.Login(euid, passphrase)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		token:  fmt.Sprintf("t%d", svc.tokSeq.Add(1)),
+		tenant: tenant,
+		gid:    gid,
+		uid:    euid,
+		pass:   passphrase,
+		st:     make([]*sessState, len(svc.shards)),
+	}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if svc.closed {
+		return nil, ErrDraining
+	}
+	svc.sessions[sess.token] = sess
+	return sess, nil
+}
+
+// Logout closes a session. The keyring registration stays: it is the
+// tenant user's credential record, not the session.
+func (svc *Service) Logout(token string) {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	delete(svc.sessions, token)
+}
+
+// session resolves a token.
+func (svc *Service) session(token string) (*Session, error) {
+	svc.mu.RLock()
+	defer svc.mu.RUnlock()
+	s, ok := svc.sessions[token]
+	if !ok {
+		return nil, errBadToken
+	}
+	return s, nil
+}
+
+// Token returns the session's token (for clients driving the service
+// in-process).
+func (s *Session) Token() string { return s.token }
+
+// MetricsSnapshot merges the host-side registry with every shard's
+// deterministic registry, in shard order. Aggregate only — per-shard
+// snapshots are served separately so their byte-identity is checkable.
+func (svc *Service) MetricsSnapshot() *telemetry.Snapshot {
+	out := svc.reg.Snapshot()
+	out.Runs = 1
+	for _, sh := range svc.shards {
+		out.Merge(sh.Snapshot())
+	}
+	return out
+}
+
+// JournalEvents concatenates the shard journals in shard order,
+// reassigning global sequence numbers.
+func (svc *Service) JournalEvents() []journal.Event {
+	var out []journal.Event
+	for _, sh := range svc.shards {
+		out = append(out, sh.Jrn.Events()...)
+	}
+	for i := range out {
+		out[i].Seq = uint64(i)
+	}
+	return out
+}
+
+// Close drains every shard in order and drops the session table. After
+// Close, admission returns ErrDraining.
+func (svc *Service) Close() {
+	svc.mu.Lock()
+	svc.closed = true
+	svc.sessions = make(map[string]*Session)
+	svc.mu.Unlock()
+	for _, sh := range svc.shards {
+		sh.Close()
+	}
+}

@@ -1,0 +1,320 @@
+// Package server is the multi-tenant encrypted file service over the
+// FsEncr machine model: fsencrd's request-processing layer.
+//
+// The service multiplexes many concurrent network clients onto a pool of
+// sharded simulated machines. Each Shard owns one kernel.System — machine,
+// DAX filesystem, keyring, OTT — and a single worker goroutine that is the
+// only code ever touching that system, so the simulation stays exactly as
+// deterministic as it is in-process while independent tenants run in
+// parallel on different shards (tenant -> shard by GroupID hash).
+//
+// Two admission disciplines are supported:
+//
+//   - Fair (default): per-tenant FIFO queues drained round-robin, so one
+//     tenant flooding the shard cannot starve its neighbours, with bounded
+//     per-tenant depth for backpressure (ErrBusy once the queue is full
+//     and the caller's context expires).
+//   - Deterministic: every request carries a per-shard schedule sequence
+//     number and the worker admits strictly in sequence order, reordering
+//     whatever the network delivers. Per-shard simulated state — clocks,
+//     caches, telemetry, the security journal — becomes a pure function
+//     of the schedule, byte-identical across reruns.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fsencr/internal/config"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/telemetry"
+)
+
+// Admission errors.
+var (
+	// ErrBusy reports per-tenant backpressure: the tenant's queue stayed
+	// full for the caller's whole context window.
+	ErrBusy = errors.New("server: tenant queue full")
+	// ErrDraining reports a shard that has stopped admitting (graceful
+	// shutdown in progress).
+	ErrDraining = errors.New("server: shard draining")
+)
+
+// DefaultPerTenantQueue bounds how many requests one tenant may have
+// admitted-but-unserved on a shard before backpressure kicks in.
+const DefaultPerTenantQueue = 64
+
+type taskResult struct {
+	v   any
+	err error
+}
+
+// task is one unit of admitted work: a closure executed on the shard's
+// worker goroutine.
+type task struct {
+	seq     uint64
+	tenant  uint32
+	fn      func() (any, error)
+	resp    chan taskResult // buffered(1): the worker never blocks on it
+	release func()          // returns the per-tenant queue slot
+}
+
+// Shard is one simulated machine plus its serializing worker.
+type Shard struct {
+	id  int
+	det bool
+
+	// Sys is the shard's booted system. Only the worker goroutine may
+	// call into it; everyone else goes through Do.
+	Sys *kernel.System
+	// Reg is the shard's deterministic telemetry registry: every value in
+	// it derives from simulated cycles, so with a deterministic schedule
+	// its snapshot is byte-identical across reruns.
+	Reg *telemetry.Registry
+	// Jrn is the shard's security-event journal (kernel/machine emissions
+	// plus the server's cross-tenant denial and auth-failure events, all
+	// emitted on the worker in admission order).
+	Jrn *journal.Journal
+
+	ingress chan task
+
+	mu        sync.Mutex
+	draining  bool
+	sems      map[uint32]chan struct{}
+	perTenant int
+
+	inflight sync.WaitGroup
+	depth    atomic.Int64
+	gDepth   *telemetry.Gauge
+	cServed  *telemetry.Counter
+
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// NewShard boots a system for shard id and starts its worker.
+// deterministic selects the admission discipline; perTenant bounds the
+// fair-mode queues (<= 0 uses DefaultPerTenantQueue). serverReg is the
+// host-side (non-deterministic) registry receiving the shard's queue-depth
+// gauge; nil is allowed.
+func NewShard(id int, cfg config.Config, mode memctrl.Mode, access kernel.AccessMode, deterministic bool, perTenant int, serverReg *telemetry.Registry) *Shard {
+	if perTenant <= 0 {
+		perTenant = DefaultPerTenantQueue
+	}
+	sys := kernel.Boot(cfg, mode, access)
+	reg := telemetry.New()
+	sys.Instrument(reg)
+	jrn := journal.New(journal.DefaultCapacity)
+	sys.AttachJournal(jrn)
+	sh := &Shard{
+		id:        id,
+		det:       deterministic,
+		Sys:       sys,
+		Reg:       reg,
+		Jrn:       jrn,
+		ingress:   make(chan task, 4*perTenant),
+		sems:      make(map[uint32]chan struct{}),
+		perTenant: perTenant,
+		gDepth:    serverReg.Gauge(fmt.Sprintf("server.shard%d.queue_depth", id)),
+		cServed:   serverReg.Counter(fmt.Sprintf("server.shard%d.served_total", id)),
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+	go sh.run()
+	return sh
+}
+
+// ID returns the shard index.
+func (sh *Shard) ID() int { return sh.id }
+
+// Snapshot captures the shard's deterministic telemetry state. For
+// reproducible bytes, call it when the shard is idle (after a drained
+// schedule).
+func (sh *Shard) Snapshot() *telemetry.Snapshot { return sh.Reg.Snapshot() }
+
+func (sh *Shard) sem(tenant uint32) chan struct{} {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sems[tenant]
+	if !ok {
+		s = make(chan struct{}, sh.perTenant)
+		sh.sems[tenant] = s
+	}
+	return s
+}
+
+// Do submits fn for execution on the shard's worker and waits for its
+// result. tenant selects the fairness queue; seq is the deterministic-mode
+// schedule position (ignored in fair mode). If ctx expires while queued
+// behind backpressure, Do returns ErrBusy; after admission the task always
+// runs to completion (a simulated syscall cannot be cancelled midway), but
+// Do stops waiting when ctx expires.
+func (sh *Shard) Do(ctx context.Context, tenant uint32, seq uint64, fn func() (any, error)) (any, error) {
+	var release func()
+	if !sh.det {
+		// Fair mode: per-tenant admission slots. Deterministic mode skips
+		// this — a slot limit could park the next-in-schedule request
+		// behind later ones and deadlock the reorder buffer; the schedule
+		// itself bounds in-flight work there (synchronous clients).
+		sem := sh.sem(tenant)
+		select {
+		case sem <- struct{}{}:
+			release = func() { <-sem }
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w (tenant %d)", ErrBusy, tenant)
+		}
+	}
+	sh.mu.Lock()
+	if sh.draining {
+		sh.mu.Unlock()
+		if release != nil {
+			release()
+		}
+		return nil, ErrDraining
+	}
+	sh.inflight.Add(1)
+	sh.mu.Unlock()
+	sh.gDepth.Set(uint64(sh.depth.Add(1)))
+
+	t := task{seq: seq, tenant: tenant, fn: fn, resp: make(chan taskResult, 1), release: release}
+	select {
+	case sh.ingress <- t:
+	case <-ctx.Done():
+		sh.taskDone(t)
+		return nil, fmt.Errorf("%w (tenant %d)", ErrBusy, tenant)
+	}
+	select {
+	case r := <-t.resp:
+		return r.v, r.err
+	case <-ctx.Done():
+		// The task still runs at its turn; the worker releases its
+		// resources. The caller just stops waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// taskDone returns the resources of an admitted task.
+func (sh *Shard) taskDone(t task) {
+	if t.release != nil {
+		t.release()
+	}
+	d := sh.depth.Add(-1)
+	if d < 0 {
+		d = 0
+	}
+	sh.gDepth.Set(uint64(d))
+	sh.inflight.Done()
+}
+
+func (sh *Shard) exec(t task) {
+	v, err := t.fn()
+	t.resp <- taskResult{v: v, err: err}
+	sh.cServed.Inc()
+	sh.taskDone(t)
+}
+
+func (sh *Shard) run() {
+	defer close(sh.stopped)
+	if sh.det {
+		sh.runDeterministic()
+		return
+	}
+	sh.runFair()
+}
+
+// runDeterministic admits strictly in per-shard sequence order: arrivals
+// park in a reorder buffer until their turn. The buffer is unbounded, but
+// synchronous clients keep it at most one entry per client.
+func (sh *Shard) runDeterministic() {
+	pending := make(map[uint64]task)
+	next := uint64(0)
+	for {
+		if t, ok := pending[next]; ok {
+			delete(pending, next)
+			next++
+			sh.exec(t)
+			continue
+		}
+		select {
+		case t := <-sh.ingress:
+			pending[t.seq] = t
+		case <-sh.stop:
+			return
+		}
+	}
+}
+
+// runFair serves one task per tenant in round-robin over the tenants with
+// pending work, absorbing the ingress channel between servings so a burst
+// from one tenant queues behind its own earlier requests, not everyone
+// else's.
+func (sh *Shard) runFair() {
+	queues := make(map[uint32][]task)
+	var order []uint32 // tenants in first-seen order
+	pending := 0
+	rr := 0
+	absorb := func(t task) {
+		if _, ok := queues[t.tenant]; !ok {
+			order = append(order, t.tenant)
+		}
+		queues[t.tenant] = append(queues[t.tenant], t)
+		pending++
+	}
+	for {
+		// Absorb everything already waiting without blocking.
+		for {
+			select {
+			case t := <-sh.ingress:
+				absorb(t)
+				continue
+			default:
+			}
+			break
+		}
+		if pending == 0 {
+			select {
+			case t := <-sh.ingress:
+				absorb(t)
+			case <-sh.stop:
+				return
+			}
+			continue
+		}
+		for i := 0; i < len(order); i++ {
+			ten := order[(rr+i)%len(order)]
+			q := queues[ten]
+			if len(q) == 0 {
+				continue
+			}
+			queues[ten] = q[1:]
+			pending--
+			rr = (rr + i + 1) % len(order)
+			sh.exec(q[0])
+			break
+		}
+	}
+}
+
+// Close drains the shard: admission stops (new Do calls get ErrDraining),
+// every already-admitted task runs to completion and is answered, then the
+// worker exits. Safe to call more than once. In deterministic mode the
+// caller must have completed the schedule — a missing sequence number
+// would leave later tasks unserved, and Close waits for them.
+func (sh *Shard) Close() {
+	sh.mu.Lock()
+	already := sh.draining
+	sh.draining = true
+	sh.mu.Unlock()
+	if already {
+		<-sh.stopped
+		return
+	}
+	sh.inflight.Wait()
+	close(sh.stop)
+	<-sh.stopped
+}

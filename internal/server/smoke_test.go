@@ -1,0 +1,200 @@
+package server_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"fsencr/internal/core"
+	"fsencr/internal/fsclient"
+	"fsencr/internal/fsproto"
+	"fsencr/internal/server"
+)
+
+const (
+	smokeShards  = 2
+	smokeClients = 8
+	smokeTenants = 2
+	smokeOps     = 24
+	smokeSeed    = 7
+)
+
+// runSmoke boots a deterministic fsencrd, drives the load generator
+// against it over real HTTP, and returns the loadgen report plus the
+// per-shard deterministic telemetry in Prometheus text form. It also
+// performs the insider ciphertext check and the graceful-drain check
+// before tearing the server down.
+func runSmoke(t *testing.T) (*fsclient.LoadgenReport, []byte) {
+	t.Helper()
+	svc := server.New(server.Options{
+		Shards:        smokeShards,
+		MCMode:        core.SchemeFsEncr.MCMode(),
+		Access:        core.SchemeFsEncr.AccessMode(),
+		Deterministic: true,
+	})
+	hs := httptest.NewServer(svc.Mux())
+	defer hs.Close()
+
+	rep, err := fsclient.RunLoadgen(hs.URL, fsclient.LoadgenOptions{
+		Clients:       smokeClients,
+		Tenants:       smokeTenants,
+		Ops:           smokeOps,
+		Mix:           "3:1",
+		Seed:          smokeSeed,
+		Deterministic: true,
+		Shards:        smokeShards,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+
+	// Per-shard deterministic snapshot, captured while the shards are
+	// quiescent (loadgen is synchronous) and before the writeback below
+	// perturbs machine state.
+	resp, err := http.Get(hs.URL + "/shards.prom")
+	if err != nil {
+		t.Fatalf("GET /shards.prom: %v", err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /shards.prom: %v", err)
+	}
+
+	// Insider dump check: with every line written back to NVM, decrypting
+	// client 0's first page with the memory key alone must not expose its
+	// plaintext pattern — the file OTP is still on it.
+	gid := fsproto.TenantGID("tenant00")
+	sh := svc.Shards()[fsproto.ShardIndex(gid, smokeShards)]
+	sh.Sys.M.WritebackAll()
+	f, err := sh.Sys.FS.Lookup("tenant00/f000.dat")
+	if err != nil {
+		t.Fatalf("lookup client 0 file: %v", err)
+	}
+	pa, err := f.PagePA(0)
+	if err != nil {
+		t.Fatalf("page 0 PA: %v", err)
+	}
+	line := sh.Sys.M.MC.DecryptWithMemoryKeyOnly(pa.WithDF())
+	if pat := bytes.Repeat([]byte{fsclient.Pattern(0)}, 16); bytes.Contains(line[:], pat) {
+		t.Fatal("memory key alone exposed file plaintext in NVM dump")
+	}
+
+	// Graceful drain: Close returns with every admitted request answered,
+	// and new work is refused with the draining code.
+	svc.Close()
+	cl := fsclient.Dial(hs.URL)
+	if err := cl.Login("tenant00", 99, "pw", 0); !fsclient.IsCode(err, fsproto.CodeDraining) {
+		t.Fatalf("post-drain login: want draining, got %v", err)
+	}
+	return rep, prom
+}
+
+// TestFsencrdSmoke is the CI gate for the file service: real HTTP clients,
+// zero cross-tenant leaks, ciphertext-only on insider dump, graceful
+// drain, no goroutine leaks, and byte-identical per-shard telemetry across
+// two identically-scheduled runs.
+func TestFsencrdSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	rep, prom1 := runSmoke(t)
+	if rep.Leaks != 0 {
+		t.Fatalf("%d cross-tenant leaks: %s", rep.Leaks, rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d unexpected errors (first: %s)", rep.Errors, rep.FirstError)
+	}
+	wantProbes := uint64(smokeClients * (smokeOps / 8)) // CrossEvery defaults to 8
+	if rep.CrossProbes != wantProbes || rep.CrossDenied != wantProbes {
+		t.Fatalf("cross-tenant probes %d denied %d, want %d of each: %s",
+			rep.CrossProbes, rep.CrossDenied, wantProbes, rep)
+	}
+	if rep.Reads == 0 || rep.Writes == 0 {
+		t.Fatalf("degenerate mix: %s", rep)
+	}
+
+	// Determinism: an identical schedule must leave byte-identical
+	// per-shard telemetry.
+	rep2, prom2 := runSmoke(t)
+	if rep2.Leaks != 0 || rep2.Errors != 0 {
+		t.Fatalf("second run regressed: %s (first error %s)", rep2, rep2.FirstError)
+	}
+	if !bytes.Equal(prom1, prom2) {
+		t.Fatalf("per-shard telemetry not byte-identical across reruns:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", prom1, prom2)
+	}
+	if len(prom1) == 0 {
+		t.Fatal("empty /shards.prom")
+	}
+
+	// Both services are closed and both test servers down: every shard
+	// worker and HTTP goroutine must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutine leak: %d before, %d after drain", before, n)
+	}
+}
+
+// TestServiceSecurityAccounting checks the service-level security
+// telemetry and journal: failed logins and cross-tenant denials are
+// counted and journaled.
+func TestServiceSecurityAccounting(t *testing.T) {
+	svc := server.New(server.Options{
+		Shards: 1,
+		MCMode: core.SchemeFsEncr.MCMode(),
+		Access: core.SchemeFsEncr.AccessMode(),
+	})
+	defer svc.Close()
+	hs := httptest.NewServer(svc.Mux())
+	defer hs.Close()
+
+	alice := fsclient.Dial(hs.URL)
+	if err := alice.Login("acme", 1, "alice-pw"); err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	if err := alice.Create(fsproto.CreateRequest{Name: "secret.db", Perm: 0600, Size: 4096, Encrypted: true}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Wrong passphrase for an already-registered identity: auth failure.
+	evil := fsclient.Dial(hs.URL)
+	if err := evil.Login("acme", 1, "guessed-pw"); !fsclient.IsCode(err, fsproto.CodeAuth) {
+		t.Fatalf("want auth failure, got %v", err)
+	}
+
+	// A different tenant reaching into acme's namespace: denied, journaled.
+	bob := fsclient.Dial(hs.URL)
+	if err := bob.Login("globex", 1, "bob-pw"); err != nil {
+		t.Fatalf("bob login: %v", err)
+	}
+	_, err := bob.Read(fsproto.ReadRequest{Name: "secret.db", Tenant: "acme", Offset: 0, Length: 64})
+	if !fsclient.IsCode(err, fsproto.CodePermission) {
+		t.Fatalf("want permission denial, got %v", err)
+	}
+
+	snap := svc.MetricsSnapshot()
+	if snap.Counters["server.auth_failures_total"] == 0 {
+		t.Fatal("auth failure not counted")
+	}
+	if snap.Counters["server.cross_tenant_denials_total"] == 0 {
+		t.Fatal("cross-tenant denial not counted")
+	}
+	var sawAuth, sawDenial bool
+	for _, e := range svc.JournalEvents() {
+		switch e.Type {
+		case "auth_failure":
+			sawAuth = true
+		case "cross_tenant_denied":
+			sawDenial = true
+		}
+	}
+	if !sawAuth || !sawDenial {
+		t.Fatalf("journal missing security events (auth %v denial %v)", sawAuth, sawDenial)
+	}
+}

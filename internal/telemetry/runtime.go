@@ -1,0 +1,24 @@
+package telemetry
+
+import "runtime"
+
+// AddRuntimeGauges merges current Go runtime statistics — goroutine count,
+// heap occupancy, GC activity — into the snapshot's gauges and returns it.
+// These are host-process observations, deliberately kept out of the
+// deterministic simulated-cycle registries: callers add them only to
+// serving-time copies (the live /metrics endpoint), never to snapshots
+// whose byte-identity across runs matters.
+func (s *Snapshot) AddRuntimeGauges() *Snapshot {
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]uint64)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.Gauges["runtime.goroutines"] = uint64(runtime.NumGoroutine())
+	s.Gauges["runtime.heap_alloc_bytes"] = ms.HeapAlloc
+	s.Gauges["runtime.heap_sys_bytes"] = ms.HeapSys
+	s.Gauges["runtime.heap_objects"] = ms.HeapObjects
+	s.Gauges["runtime.gc_runs"] = uint64(ms.NumGC)
+	s.Gauges["runtime.gc_pause_total_ns"] = ms.PauseTotalNs
+	return s
+}
