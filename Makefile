@@ -28,11 +28,12 @@ smoke-race:
 vet:
 	$(GO) vet ./...
 
-# Hot-path microbenchmarks (datapath + crypto engine + kvstore), one
-# iteration batch each — enough for before/after comparisons of the
-# fast-path.
+# Hot-path microbenchmarks (datapath + Merkle write-back + crypto engine +
+# kvstore), one iteration batch each — enough for before/after comparisons
+# of the fast-path.
 bench:
 	$(GO) test -run '^$$' -bench 'ReadLine|WriteLine' ./internal/memctrl
+	$(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' ./internal/merkle
 	$(GO) test -run '^$$' -bench . ./internal/aesctr
 	$(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore
 
@@ -42,6 +43,7 @@ bench:
 bench-json:
 	@{ \
 	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine' ./internal/memctrl ; \
+	  $(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' ./internal/merkle ; \
 	  $(GO) test -run '^$$' -bench . ./internal/aesctr ; \
 	  $(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore ; \
 	} | awk ' \
@@ -62,14 +64,17 @@ bench-json:
 bench-check:
 	@{ \
 	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine' -count 3 ./internal/memctrl ; \
+	  $(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' -count 3 ./internal/merkle ; \
 	  $(GO) test -run '^$$' -bench . -count 3 ./internal/aesctr ; \
 	  $(GO) test -run '^$$' -bench 'Put|Get' -count 3 ./internal/kvstore ; \
 	} | $(GO) run ./cmd/fsencr-bench -check BENCH_baseline.json -tolerance 0.15
 
 # Telemetry-overhead gate: with no registry attached (the no-op recorder)
 # the telemetry hooks on ReadLine/WriteLine must stay under 3% of the
-# op's ns/op. See TestTelemetryOverheadGuard in internal/memctrl.
+# op's ns/op. TestWriteLineGapGuard rides along: it pins the
+# WriteLine/ReadLine ns/op ratio so eager per-write Merkle propagation
+# cannot silently return. See internal/memctrl/overhead_guard_test.go.
 overhead-guard:
-	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run TestTelemetryOverheadGuard -v ./internal/memctrl
+	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard' -v ./internal/memctrl
 
 ci: build vet test smoke race overhead-guard bench-check

@@ -87,9 +87,17 @@ func unpackMinors(b []byte, minors *[config.LinesPerPage]uint8) {
 // followed by 56 bytes of packed minors.
 func (m *MECB) Encode() Block {
 	var b Block
+	m.EncodeInto(&b)
+	return b
+}
+
+// EncodeInto serializes the MECB into a caller-owned block, so hot paths
+// that re-encode a counter block on every NVM access (fetch, bump, tree
+// update) can reuse one scratch buffer instead of escaping a fresh 64-byte
+// copy to the heap each time.
+func (m *MECB) EncodeInto(b *Block) {
 	binary.LittleEndian.PutUint64(b[0:8], m.Major)
 	packMinors(b[8:], &m.Minor)
-	return b
 }
 
 // DecodeMECB parses a serialized MECB.
@@ -104,18 +112,27 @@ func DecodeMECB(b Block) MECB {
 // 18-bit Group ID and 14-bit File ID, 4 bytes of major counter, then 56
 // bytes of packed minors.
 func (f *FECB) Encode() (Block, error) {
+	var b Block
+	if err := f.EncodeInto(&b); err != nil {
+		return Block{}, err
+	}
+	return b, nil
+}
+
+// EncodeInto serializes the FECB into a caller-owned block (see
+// MECB.EncodeInto for why hot paths want this form).
+func (f *FECB) EncodeInto(b *Block) error {
 	if f.GroupID > MaxGroupID {
-		return Block{}, fmt.Errorf("counters: group ID %d exceeds 18 bits", f.GroupID)
+		return fmt.Errorf("counters: group ID %d exceeds 18 bits", f.GroupID)
 	}
 	if f.FileID > MaxFileID {
-		return Block{}, fmt.Errorf("counters: file ID %d exceeds 14 bits", f.FileID)
+		return fmt.Errorf("counters: file ID %d exceeds 14 bits", f.FileID)
 	}
-	var b Block
 	tag := uint32(f.GroupID) | uint32(f.FileID)<<18
 	binary.LittleEndian.PutUint32(b[0:4], tag)
 	binary.LittleEndian.PutUint32(b[4:8], f.Major)
 	packMinors(b[8:], &f.Minor)
-	return b, nil
+	return nil
 }
 
 // MustEncode is Encode for callers that have already validated the IDs.
@@ -125,6 +142,14 @@ func (f *FECB) MustEncode() Block {
 		panic(err)
 	}
 	return b
+}
+
+// MustEncodeInto is EncodeInto for callers that have already validated the
+// IDs.
+func (f *FECB) MustEncodeInto(b *Block) {
+	if err := f.EncodeInto(b); err != nil {
+		panic(err)
+	}
 }
 
 // DecodeFECB parses a serialized FECB.

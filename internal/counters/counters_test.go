@@ -136,3 +136,42 @@ func TestDistinctBlocksEncodeDistinctly(t *testing.T) {
 		t.Fatal("group and file IDs aliased in encoding")
 	}
 }
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	m := MECB{Major: 77}
+	m.Minor[0] = 3
+	m.Minor[63] = 127
+	var mb Block
+	m.EncodeInto(&mb)
+	if mb != m.Encode() {
+		t.Fatal("MECB.EncodeInto differs from Encode")
+	}
+	f := FECB{GroupID: 5, FileID: 9, Major: 123}
+	f.Minor[17] = 64
+	var fb Block
+	f.MustEncodeInto(&fb)
+	if fb != f.MustEncode() {
+		t.Fatal("FECB.MustEncodeInto differs from MustEncode")
+	}
+	// The scratch form overwrites every byte it owns: encoding a second,
+	// smaller block into the same buffer must not leak earlier state.
+	g := FECB{}
+	g.MustEncodeInto(&fb)
+	if fb != g.MustEncode() {
+		t.Fatal("stale bytes leaked through a reused scratch block")
+	}
+}
+
+func TestEncodeIntoRejectsOversizeIDs(t *testing.T) {
+	f := FECB{GroupID: MaxGroupID + 1}
+	var b Block
+	if err := f.EncodeInto(&b); err == nil {
+		t.Fatal("oversize group ID encoded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEncodeInto did not panic on oversize ID")
+		}
+	}()
+	f.MustEncodeInto(&b)
+}

@@ -59,3 +59,19 @@ func BenchmarkWriteLine(b *testing.B) {
 		now += 200
 	}
 }
+
+// BenchmarkWriteLineSeqPage writes the 64 lines of a single page in
+// sequence — the write-back tree's best case: all 64 counter-block updates
+// dirty the same Merkle leaf, so the entire page's path propagation
+// collapses into one recompute at the next observation point.
+func BenchmarkWriteLineSeqPage(b *testing.B) {
+	c, las := benchFsEncrController()
+	line := lineOf(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := config.Cycle(0)
+	for i := 0; i < b.N; i++ {
+		c.WriteLine(now, las[i%config.LinesPerPage], line)
+		now += 200
+	}
+}

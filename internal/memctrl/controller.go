@@ -93,6 +93,22 @@ type Controller struct {
 	// admin authentication at boot (§VI): only memory encryption functions.
 	locked bool
 
+	// encScratch is the shared serialization buffer of encMECB/encFECB:
+	// counter blocks re-encode on every fetch and bump, and the datapath is
+	// single-threaded per controller, so one caller-owned line avoids a
+	// 64-byte heap escape per metadata access. Consumers (tree hash, MAC
+	// check) read the bytes synchronously and never retain the slice.
+	encScratch counters.Block
+	// mtPath is the reusable Merkle path-walk buffer of fetchMeta and
+	// touchDirtyCounter (same single-threaded-datapath argument).
+	mtPath []merkle.NodeID
+	// padScratch/filePadScratch are the ReadLine/WriteLine OTP buffers.
+	// Locals escape to the heap through the cipher.Block.Encrypt interface
+	// call inside OTPInto, costing two 64-byte allocations per line op;
+	// OTPInto fully overwrites its destination, so reuse is safe.
+	padScratch     aesctr.Line
+	filePadScratch aesctr.Line
+
 	// writeQueue holds the completion times of in-flight writes. Writes
 	// are posted: the core's CLWB/SFENCE completes when the store is
 	// *accepted* into the controller's persistence domain (ADR), not when

@@ -31,8 +31,8 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 	li := la.LineInPage()
 
 	mecb, ctrReady := c.fetchMECB(now, page)
-	var pad aesctr.Line
-	c.memEngine.OTPInto(&pad, memIV(page, li, mecb.Major, mecb.Minor[li]))
+	pad := &c.padScratch
+	c.memEngine.OTPInto(pad, memIV(page, li, mecb.Major, mecb.Minor[li]))
 	otpReady := ctrReady + c.memEngine.Latency()
 	xors := 1
 
@@ -40,9 +40,9 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 		fecb, fReady := c.fetchFECB(now, page)
 		key, kReady, ok := c.lookupKey(fReady, fecb.GroupID, fecb.FileID)
 		if ok {
-			var filePad aesctr.Line
-			c.engineFor(key).OTPInto(&filePad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
-			aesctr.XORInto(&pad, &filePad)
+			filePad := &c.filePadScratch
+			c.engineFor(key).OTPInto(filePad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
+			aesctr.XORInto(pad, filePad)
 			fileOTPReady := kReady + c.cfg.Security.AESLatency
 			if fileOTPReady > otpReady {
 				otpReady = fileOTPReady
@@ -59,7 +59,7 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 
 	done := maxCycle(dataDone, otpReady) + config.Cycle(xors)*c.cfg.Security.XORLatency
 	c.tReadCycles.Observe(uint64(done - now))
-	aesctr.XORInto(&cipher, &pad)
+	aesctr.XORInto(&cipher, pad)
 	return cipher, done
 }
 
@@ -95,14 +95,14 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 	} else {
 		mecb.Bump(li)
 	}
-	ctrReady = c.touchDirtyCounter(ctrReady, mecbAddr(page), mecbLeaf(page), encodeMECB(mecb))
+	ctrReady = c.touchDirtyCounter(ctrReady, mecbAddr(page), mecbLeaf(page), c.encMECB(mecb))
 	if overflowed {
 		// Major bumps are persisted eagerly so the Osiris recovery window
 		// never has to search across a counter wrap (§III-H).
 		c.persistCounterNow(ctrReady, mecbAddr(page))
 	}
-	var pad aesctr.Line
-	c.memEngine.OTPInto(&pad, memIV(page, li, mecb.Major, mecb.Minor[li]))
+	pad := &c.padScratch
+	c.memEngine.OTPInto(pad, memIV(page, li, mecb.Major, mecb.Minor[li]))
 	otpReady := ctrReady + c.memEngine.Latency()
 	xors := 1
 
@@ -115,15 +115,15 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 		} else {
 			fecb.Bump(li)
 		}
-		fReady = c.touchDirtyCounter(fReady, fecbAddr(page), fecbLeaf(page), encodeFECB(fecb))
+		fReady = c.touchDirtyCounter(fReady, fecbAddr(page), fecbLeaf(page), c.encFECB(fecb))
 		if fileOverflowed {
 			c.persistCounterNow(fReady, fecbAddr(page))
 		}
 		key, kReady, ok := c.lookupKey(fReady, fecb.GroupID, fecb.FileID)
 		if ok {
-			var filePad aesctr.Line
-			c.engineFor(key).OTPInto(&filePad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
-			aesctr.XORInto(&pad, &filePad)
+			filePad := &c.filePadScratch
+			c.engineFor(key).OTPInto(filePad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
+			aesctr.XORInto(pad, filePad)
 			if r := kReady + c.cfg.Security.AESLatency; r > otpReady {
 				otpReady = r
 			}
@@ -138,7 +138,7 @@ func (c *Controller) WriteLine(now config.Cycle, pa addr.Phys, plain aesctr.Line
 	// the counter used for this write is recoverable after a crash. Taken
 	// before the in-place encryption below consumes the plaintext.
 	tag := eccTag(&plain)
-	aesctr.XORInto(&plain, &pad)
+	aesctr.XORInto(&plain, pad)
 	writeStart := otpReady + config.Cycle(xors)*c.cfg.Security.XORLatency
 	done := c.PCM.Access(writeStart, raw, true)
 	c.PCM.WriteLine(raw, plain)

@@ -142,7 +142,7 @@ func (c *Controller) TagPage(now config.Cycle, pa addr.Phys, group uint32, file 
 	}
 	fecb.GroupID = group
 	fecb.FileID = file
-	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), encodeFECB(fecb))
+	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), c.encFECB(fecb))
 	// Identity tagging is rare (page faults only); persist it immediately
 	// so recovery never has to guess file identities.
 	c.PCM.Access(ready, addr.Phys(fecbAddr(page)), true)
@@ -164,7 +164,7 @@ func (c *Controller) ShredPage(now config.Cycle, pa addr.Phys) config.Cycle {
 	page := pa.PageNum()
 	fecb, ready := c.fetchFECB(now, page)
 	fecb.Reset()
-	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), encodeFECB(fecb))
+	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), c.encFECB(fecb))
 	c.PCM.Access(ready, addr.Phys(fecbAddr(page)), true)
 	c.mcacheFor(fecbAddr(page)).Clean(fecbAddr(page))
 	c.persistCounterAt(fecbAddr(page))

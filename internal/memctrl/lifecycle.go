@@ -43,7 +43,7 @@ func (c *Controller) RotateFileKey(now config.Cycle, pa addr.Phys, group uint32,
 		oldEng.OTPInto(oldPad, fileIV(page, li, old.Major, old.Minor[li]))
 		newEng.OTPInto(newPad, fileIV(page, li, fecb.Major, fecb.Minor[li]))
 	})
-	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), encodeFECB(fecb))
+	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), c.encFECB(fecb))
 	c.persistCounterNow(ready, fecbAddr(page))
 	// Data ECC tags are unchanged: rotation preserves plaintext.
 	return ready

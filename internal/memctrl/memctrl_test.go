@@ -8,6 +8,7 @@ import (
 	"fsencr/internal/aesctr"
 	"fsencr/internal/config"
 	"fsencr/internal/stats"
+	"fsencr/internal/telemetry"
 )
 
 func newMC(mode Mode) *Controller {
@@ -359,5 +360,44 @@ func TestUnpartitionedCacheAliases(t *testing.T) {
 	}
 	if c.mcacheFor(mtNodeAddr(c.mt.PathNodes(0)[0])) != c.MetadataCache() {
 		t.Fatal("tree nodes not in the shared cache")
+	}
+}
+
+func TestMerkleWriteBackTelemetry(t *testing.T) {
+	c := newMC(Mode{MemEncryption: true})
+	reg := telemetry.New()
+	c.Instrument(reg)
+	// 64 sequential line writes to one page: one counter-block leaf updated
+	// 64 times, zero external observations in between.
+	base := addr.Phys(0x900000)
+	for li := 0; li < config.LinesPerPage; li++ {
+		c.WriteLine(0, base+addr.Phys(li*config.LineSize), lineOf(byte(li)))
+	}
+	if c.mt.Dirty() == 0 {
+		t.Fatal("no pending lazy updates after a write burst")
+	}
+	root := c.MerkleRoot() // external observation point: must flush
+	if c.mt.Dirty() != 0 {
+		t.Fatal("MerkleRoot left pending updates")
+	}
+	snap := reg.Snapshot()
+	// Write-back dedup: ~65 leaf updates (first touch + 64 bumps) collapse
+	// into at most two flushes (the compulsory-miss Verify and the Root
+	// observation), instead of one path recompute per write.
+	if ups := snap.Counters["merkle.updates"]; ups < 64 {
+		t.Fatalf("merkle.updates = %d, want >= 64", ups)
+	}
+	flushes := snap.Counters["merkle.flushes"]
+	if flushes == 0 || flushes > 2 {
+		t.Fatalf("merkle.flushes = %d, want 1..2 (write-back dedup)", flushes)
+	}
+	if h := snap.Histograms["merkle.dirty_leaves_per_flush"]; h == nil || h.Count != flushes {
+		t.Fatalf("dirty_leaves_per_flush = %+v, want %d observations", h, flushes)
+	}
+	// The lazily maintained root must match a wholesale rebuild from the
+	// same counters (the eager tree's value, by TestRebuildMatchesIncremental).
+	c.rebuildTreeFromCounters()
+	if c.MerkleRoot() != root {
+		t.Fatal("lazy root differs from rebuilt root")
 	}
 }

@@ -29,7 +29,8 @@ func (c *Controller) fetchMeta(now config.Cycle, metaAddr uint64, leaf int, cont
 		}
 		ready += c.cfg.Security.MACLatency
 		walked := uint64(0)
-		for _, n := range c.mt.PathNodes(leaf) {
+		c.mtPath = c.mt.AppendPathNodes(c.mtPath[:0], leaf)
+		for _, n := range c.mtPath {
 			na := mtNodeAddr(n)
 			if c.mcacheFor(na).Lookup(na, false) {
 				c.st.Inc("mc.mt_hits")
@@ -90,7 +91,7 @@ func (c *Controller) getMECB(page uint64) *counters.MECB {
 		c.mecb[page] = m
 		// A fresh block's zero value is implicitly durable.
 		c.persistedMECB[page] = *m
-		c.mt.Update(mecbLeaf(page), encodeMECB(m))
+		c.mt.Update(mecbLeaf(page), c.encMECB(m))
 	}
 	return m
 }
@@ -102,32 +103,36 @@ func (c *Controller) getFECB(page uint64) *counters.FECB {
 		f = &counters.FECB{}
 		c.fecb[page] = f
 		c.persistedFECB[page] = *f
-		c.mt.Update(fecbLeaf(page), encodeFECB(f))
+		c.mt.Update(fecbLeaf(page), c.encFECB(f))
 	}
 	return f
 }
 
-func encodeMECB(m *counters.MECB) []byte {
-	b := m.Encode()
-	return b[:]
+// encMECB serializes a MECB into the controller's scratch line. The
+// returned slice is valid until the next enc call; every consumer (leaf
+// hash, MAC verify) reads it synchronously.
+func (c *Controller) encMECB(m *counters.MECB) []byte {
+	m.EncodeInto(&c.encScratch)
+	return c.encScratch[:]
 }
 
-func encodeFECB(f *counters.FECB) []byte {
-	b := f.MustEncode()
-	return b[:]
+// encFECB is encMECB for file counter blocks.
+func (c *Controller) encFECB(f *counters.FECB) []byte {
+	f.MustEncodeInto(&c.encScratch)
+	return c.encScratch[:]
 }
 
 // fetchMECB makes page's MECB available to the datapath and returns when.
 func (c *Controller) fetchMECB(now config.Cycle, page uint64) (*counters.MECB, config.Cycle) {
 	m := c.getMECB(page)
-	ready := c.fetchMeta(now, mecbAddr(page), mecbLeaf(page), encodeMECB(m))
+	ready := c.fetchMeta(now, mecbAddr(page), mecbLeaf(page), c.encMECB(m))
 	return m, ready
 }
 
 // fetchFECB makes page's FECB available to the datapath and returns when.
 func (c *Controller) fetchFECB(now config.Cycle, page uint64) (*counters.FECB, config.Cycle) {
 	f := c.getFECB(page)
-	ready := c.fetchMeta(now, fecbAddr(page), fecbLeaf(page), encodeFECB(f))
+	ready := c.fetchMeta(now, fecbAddr(page), fecbLeaf(page), c.encFECB(f))
 	return f, ready
 }
 
@@ -140,7 +145,8 @@ func (c *Controller) touchDirtyCounter(now config.Cycle, metaAddr uint64, leaf i
 	c.insertMeta(now, metaAddr, true)
 	c.mt.Update(leaf, content)
 	// Merkle path nodes become dirty in the metadata cache as well.
-	for _, n := range c.mt.PathNodes(leaf) {
+	c.mtPath = c.mt.AppendPathNodes(c.mtPath[:0], leaf)
+	for _, n := range c.mtPath {
 		c.insertMeta(now, mtNodeAddr(n), true)
 	}
 	c.unpersisted[metaAddr]++
@@ -162,14 +168,18 @@ func (c *Controller) persistCounterNow(now config.Cycle, metaAddr uint64) {
 	c.persistCounterAt(metaAddr)
 }
 
-// merkle helpers used by recovery.
+// merkle helpers used by recovery. Unlike the datapath's scratch encoders,
+// the leaves map retains every slice until Rebuild consumes it, so each
+// block gets its own freshly allocated encoding here.
 func (c *Controller) rebuildTreeFromCounters() {
 	leaves := make(map[int][]byte, 2*len(c.mecb)+c.ottRegionLeafCount())
 	for page, m := range c.mecb {
-		leaves[mecbLeaf(page)] = encodeMECB(m)
+		b := m.Encode()
+		leaves[mecbLeaf(page)] = b[:]
 	}
 	for page, f := range c.fecb {
-		leaves[fecbLeaf(page)] = encodeFECB(f)
+		b := f.MustEncode()
+		leaves[fecbLeaf(page)] = b[:]
 	}
 	c.addOTTLeaves(leaves)
 	c.mt.Rebuild(leaves)

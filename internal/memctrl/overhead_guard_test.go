@@ -13,6 +13,47 @@ import (
 // call sites take when no registry is attached.
 var benchNilHist *telemetry.Histogram
 
+// bestNsPerOp runs a benchmark three times and keeps the fastest run,
+// discarding scheduler noise. Sub-nanosecond resolution matters for the
+// no-op hook measurement, which BenchmarkResult.NsPerOp truncates to zero.
+func bestNsPerOp(bench func(b *testing.B)) float64 {
+	v := math.MaxFloat64
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(bench)
+		if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < v {
+			v = ns
+		}
+	}
+	return v
+}
+
+// writeLineGapTolerance pins the WriteLine/ReadLine ns/op host-time ratio.
+// Before the write-back Bonsai tree the gap was ~13x (every write eagerly
+// recomputed the full 9-level path); with lazy propagation and the
+// zero-alloc hash/encode path it sits around 3x. The tolerance leaves
+// headroom for machine variance while still failing CI if eager per-write
+// propagation (or a comparably expensive regression) ever sneaks back in.
+const writeLineGapTolerance = 6.0
+
+// TestWriteLineGapGuard is the companion CI gate to the bench-regression
+// check: it pins the *relative* cost of the WriteLine hot path against
+// ReadLine, which is stable across machines where absolute ns/op baselines
+// are not. Skipped unless FSENCR_OVERHEAD_GUARD=1 (runs real benchmarks).
+func TestWriteLineGapGuard(t *testing.T) {
+	if os.Getenv("FSENCR_OVERHEAD_GUARD") == "" {
+		t.Skip("set FSENCR_OVERHEAD_GUARD=1 (or run `make overhead-guard`) to enable")
+	}
+	readNs := bestNsPerOp(BenchmarkReadLine)
+	writeNs := bestNsPerOp(BenchmarkWriteLine)
+	ratio := writeNs / readNs
+	t.Logf("WriteLine %.1f ns/op / ReadLine %.1f ns/op = %.2fx (tolerance %.1fx)",
+		writeNs, readNs, ratio, writeLineGapTolerance)
+	if ratio > writeLineGapTolerance {
+		t.Errorf("WriteLine/ReadLine gap %.2fx exceeds %.1fx: eager per-write tree propagation regressed the hot path",
+			ratio, writeLineGapTolerance)
+	}
+}
+
 // maxHooksPerLineOp bounds how many telemetry recordings a single
 // ReadLine/WriteLine can reach (latency histogram, metadata fetch, BMT
 // walk depth, key lookup, PCM service + queue, spans), with slack for
@@ -31,21 +72,7 @@ func TestTelemetryOverheadGuard(t *testing.T) {
 		t.Skip("set FSENCR_OVERHEAD_GUARD=1 (or run `make overhead-guard`) to enable")
 	}
 
-	// Sub-nanosecond resolution matters here: the no-op hook costs a
-	// fraction of a nanosecond, which BenchmarkResult.NsPerOp truncates
-	// to zero.
-	best := func(bench func(b *testing.B)) float64 {
-		v := math.MaxFloat64
-		for i := 0; i < 3; i++ {
-			r := testing.Benchmark(bench)
-			if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < v {
-				v = ns
-			}
-		}
-		return v
-	}
-
-	nilObserve := best(func(b *testing.B) {
+	nilObserve := bestNsPerOp(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			benchNilHist.Observe(uint64(i))
 		}
@@ -59,7 +86,7 @@ func TestTelemetryOverheadGuard(t *testing.T) {
 		{"ReadLine", BenchmarkReadLine},
 		{"WriteLine", BenchmarkWriteLine},
 	} {
-		opNs := best(op.bench)
+		opNs := bestNsPerOp(op.bench)
 		limit := 0.03 * opNs
 		t.Logf("%s: %.1f ns/op; %d no-op hooks cost %.2f ns (limit %.2f ns)",
 			op.name, opNs, maxHooksPerLineOp, budget, limit)

@@ -8,12 +8,22 @@
 // untouched subtrees collapse to precomputed default hashes, so a 9-level
 // 8-ary tree covering 16.7M metadata blocks costs memory only for the
 // blocks a workload actually touches.
+//
+// Propagation is write-back, mirroring §III-G's treatment of cached tree
+// nodes as trusted: Update records only the new leaf hash and marks the
+// leaf dirty; the internal path up to the root is recomputed lazily by
+// Flush, which deduplicates shared parents (64 line writes to one page
+// collapse into a single path recompute). Every externally observable
+// operation — Root, Verify, Rebuild — flushes first, so the visible root
+// at any observation point is byte-identical to an eagerly propagated
+// tree's and still covers every prior update.
 package merkle
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/telemetry"
@@ -30,10 +40,20 @@ type Tree struct {
 	nodes    []map[int]Hash // one sparse map per level
 	defaults []Hash         // default hash of an untouched node per level
 
-	tVerifies  *telemetry.Counter
-	tVerFails  *telemetry.Counter
-	tUpdates   *telemetry.Counter
-	tHashDepth *telemetry.Histogram
+	// dirty holds leaf indices whose new hashes sit in nodes[0] but whose
+	// internal paths have not been propagated yet. Internal nodes above a
+	// dirty leaf are stale until the next Flush.
+	dirty map[int]struct{}
+	// flushScratch is the reusable parent-frontier worklist of Flush, so a
+	// flush costs no per-call slice allocations in steady state.
+	flushScratch []int
+
+	tVerifies   *telemetry.Counter
+	tVerFails   *telemetry.Counter
+	tUpdates    *telemetry.Counter
+	tHashDepth  *telemetry.Histogram
+	tFlushes    *telemetry.Counter
+	tDirtyLeafs *telemetry.Histogram
 
 	// Security-event journal plus the owner-supplied simulated-cycle clock
 	// (the tree itself has no notion of time).
@@ -61,6 +81,8 @@ func (t *Tree) Instrument(reg *telemetry.Registry) {
 	t.tVerFails = reg.Counter("merkle.verify_failures")
 	t.tUpdates = reg.Counter("merkle.updates")
 	t.tHashDepth = reg.Histogram("merkle.hash_depth")
+	t.tFlushes = reg.Counter("merkle.flushes")
+	t.tDirtyLeafs = reg.Histogram("merkle.dirty_leaves_per_flush")
 }
 
 // New builds an all-default tree with the given arity and level count
@@ -74,6 +96,7 @@ func New(arity, levels int) *Tree {
 	for i := range t.nodes {
 		t.nodes[i] = make(map[int]Hash)
 	}
+	t.dirty = make(map[int]struct{})
 	t.defaults = make([]Hash, levels)
 	var zero [64]byte
 	t.defaults[0] = hashLeaf(zero[:])
@@ -98,8 +121,12 @@ func (t *Tree) NumLeaves() int {
 	return n
 }
 
-// Root returns the current root (held inside the processor).
-func (t *Tree) Root() Hash { return t.node(t.levels-1, 0) }
+// Root returns the current root (held inside the processor), propagating
+// any pending leaf updates first so the returned value covers them.
+func (t *Tree) Root() Hash {
+	t.Flush()
+	return t.node(t.levels-1, 0)
+}
 
 func (t *Tree) node(lvl, idx int) Hash {
 	if h, ok := t.nodes[lvl][idx]; ok {
@@ -108,20 +135,49 @@ func (t *Tree) node(lvl, idx int) Hash {
 	return t.defaults[lvl]
 }
 
+// scratchArity bounds the fan-out the one-shot stack-buffer hash path
+// handles; wider trees fall back to streaming SHA-256. The paper's tree is
+// arity 8 (Table III).
+const scratchArity = 16
+
 func hashLeaf(content []byte) Hash {
+	// One-shot hash over a stack scratch buffer: sha256.Sum256 never
+	// allocates, unlike a fresh sha256.New() per node. Counter blocks and
+	// OTT buckets are 64 B; the fallback covers oversized bucket chains.
+	var buf [1 + 256]byte
+	if len(content) < len(buf) {
+		buf[0] = 0x00 // leaf domain separator
+		n := copy(buf[1:], content)
+		return sha256.Sum256(buf[:1+n])
+	}
 	h := sha256.New()
-	h.Write([]byte{0x00}) // leaf domain separator
+	h.Write([]byte{0x00})
 	h.Write(content)
 	var out Hash
 	h.Sum(out[:0])
 	return out
 }
 
+func hashPrefix(buf []byte, lvl int) {
+	buf[0] = 0x01 // internal domain separator
+	binary.LittleEndian.PutUint32(buf[1:], uint32(lvl))
+}
+
 func hashChildrenOf(lvl int, child func(i int) Hash, arity int) Hash {
+	if arity <= scratchArity {
+		var buf [5 + scratchArity*32]byte
+		hashPrefix(buf[:], lvl)
+		off := 5
+		for i := 0; i < arity; i++ {
+			c := child(i)
+			copy(buf[off:], c[:])
+			off += 32
+		}
+		return sha256.Sum256(buf[:off])
+	}
 	h := sha256.New()
 	var pre [5]byte
-	pre[0] = 0x01 // internal domain separator
-	binary.LittleEndian.PutUint32(pre[1:], uint32(lvl))
+	hashPrefix(pre[:], lvl)
 	h.Write(pre[:])
 	for i := 0; i < arity; i++ {
 		c := child(i)
@@ -132,8 +188,22 @@ func hashChildrenOf(lvl int, child func(i int) Hash, arity int) Hash {
 	return out
 }
 
+// hashChildren is the flush/verify hot path: the closure-free variant of
+// hashChildrenOf, reading children straight out of the node maps into a
+// stack buffer.
 func (t *Tree) hashChildren(lvl, idx int) Hash {
 	lo := idx * t.arity
+	if t.arity <= scratchArity {
+		var buf [5 + scratchArity*32]byte
+		hashPrefix(buf[:], lvl)
+		off := 5
+		for i := 0; i < t.arity; i++ {
+			c := t.node(lvl-1, lo+i)
+			copy(buf[off:], c[:])
+			off += 32
+		}
+		return sha256.Sum256(buf[:off])
+	}
 	return hashChildrenOf(lvl, func(i int) Hash { return t.node(lvl-1, lo+i) }, t.arity)
 }
 
@@ -143,22 +213,63 @@ func (t *Tree) checkLeaf(idx int) {
 	}
 }
 
-// Update re-hashes leaf idx with the new content and propagates to the root.
+// Update records the new content hash for leaf idx and marks the leaf
+// dirty. The internal path is NOT recomputed here: propagation is deferred
+// to the next Flush (triggered by any external observation), which is where
+// writes to many leaves under a shared parent collapse into one recompute.
 func (t *Tree) Update(idx int, content []byte) {
 	t.checkLeaf(idx)
 	t.tUpdates.Inc()
-	t.tHashDepth.Observe(uint64(t.levels - 1))
+	t.tHashDepth.Observe(0) // only the leaf is hashed here
 	t.nodes[0][idx] = hashLeaf(content)
-	for lvl := 1; lvl < t.levels; lvl++ {
-		idx /= t.arity
-		t.nodes[lvl][idx] = t.hashChildren(lvl, idx)
+	t.dirty[idx] = struct{}{}
+}
+
+// Dirty reports how many leaves have pending (unpropagated) updates.
+func (t *Tree) Dirty() int { return len(t.dirty) }
+
+// Flush propagates every dirty leaf's path to the root, level by level,
+// visiting each distinct parent exactly once. A clean tree flushes for
+// free. After Flush, every internal node is consistent with the leaves.
+func (t *Tree) Flush() {
+	if len(t.dirty) == 0 {
+		return
 	}
+	t.tFlushes.Inc()
+	t.tDirtyLeafs.Observe(uint64(len(t.dirty)))
+	// Seed the frontier with the dirty leaves and sort once: dividing a
+	// sorted sequence by the arity keeps it sorted, so at every level the
+	// shared parents of adjacent children sit next to each other and the
+	// dedup is a single adjacent-equality sweep.
+	frontier := t.flushScratch[:0]
+	for idx := range t.dirty {
+		frontier = append(frontier, idx)
+	}
+	clear(t.dirty)
+	sort.Ints(frontier)
+	for lvl := 1; lvl < t.levels; lvl++ {
+		n := 0
+		for _, idx := range frontier {
+			parent := idx / t.arity
+			if n > 0 && frontier[n-1] == parent {
+				continue
+			}
+			frontier[n] = parent
+			n++
+			t.nodes[lvl][parent] = t.hashChildren(lvl, parent)
+		}
+		frontier = frontier[:n]
+	}
+	t.flushScratch = frontier[:0]
 }
 
 // Verify checks that content matches the recorded leaf hash for idx and
 // that the recorded path is consistent up to the root. It returns false on
-// any mismatch (tampered or replayed metadata).
+// any mismatch (tampered or replayed metadata). Pending updates are flushed
+// first so a leaf with dirty ancestors verifies against a consistent path —
+// the verdict is identical to an eagerly propagated tree's.
 func (t *Tree) Verify(idx int, content []byte) bool {
+	t.Flush()
 	t.tVerifies.Inc()
 	leaf := idx
 	if idx < 0 || idx >= t.NumLeaves() {
@@ -205,7 +316,12 @@ type NodeID struct {
 // walk stops at the first node found in the metadata cache (a cached node
 // is trusted), and the root never leaves the chip.
 func (t *Tree) PathNodes(idx int) []NodeID {
-	path := make([]NodeID, 0, t.levels-2)
+	return t.AppendPathNodes(make([]NodeID, 0, t.levels-2), idx)
+}
+
+// AppendPathNodes is PathNodes appending into a caller-owned slice, for
+// hot paths that walk a path per memory write and must not allocate.
+func (t *Tree) AppendPathNodes(path []NodeID, idx int) []NodeID {
 	for lvl := 1; lvl < t.levels-1; lvl++ {
 		idx /= t.arity
 		path = append(path, NodeID{Level: lvl, Index: idx})
@@ -216,10 +332,13 @@ func (t *Tree) PathNodes(idx int) []NodeID {
 // Rebuild reconstructs the whole tree from a set of non-default leaf
 // contents (crash recovery: counters are recovered first, then the tree is
 // regenerated and checked against the processor-resident root, §II-D).
+// Pending lazy updates are discarded wholesale — the supplied leaves are
+// the new truth.
 func (t *Tree) Rebuild(leaves map[int][]byte) {
 	for i := range t.nodes {
 		t.nodes[i] = make(map[int]Hash)
 	}
+	clear(t.dirty)
 	for idx, content := range leaves {
 		t.checkLeaf(idx)
 		t.nodes[0][idx] = hashLeaf(content)

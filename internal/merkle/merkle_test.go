@@ -1,8 +1,11 @@
 package merkle
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"fsencr/internal/telemetry"
 )
 
 func content(b byte) []byte {
@@ -163,5 +166,134 @@ func TestBinaryTree(t *testing.T) {
 	tr.Update(15, content(1))
 	if !tr.Verify(15, content(1)) {
 		t.Fatal("binary tree verify failed")
+	}
+}
+
+// eagerUpdate drives tr exactly like the pre-write-back tree: every update
+// is propagated to the root immediately.
+func eagerUpdate(tr *Tree, idx int, c []byte) {
+	tr.Update(idx, c)
+	tr.Flush()
+}
+
+// TestLazyMatchesEagerInterleavings drives identical random
+// Update/Verify/Root interleavings through a lazily flushed tree and an
+// eagerly flushed reference and asserts byte-identical roots and identical
+// Verify verdicts at every observation point — including Verify of leaves
+// whose ancestors are dirty in the lazy tree at call time.
+func TestLazyMatchesEagerInterleavings(t *testing.T) {
+	lazy := New(8, 4)
+	eager := New(8, 4)
+	rng := rand.New(rand.NewSource(20260805))
+	written := make(map[int]byte)
+	lastWritten := -1
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(6) {
+		case 0, 1, 2: // update (majority: keep the lazy tree dirty)
+			idx := rng.Intn(lazy.NumLeaves())
+			v := byte(rng.Intn(256))
+			lazy.Update(idx, content(v))
+			eagerUpdate(eager, idx, content(v))
+			written[idx] = v
+			lastWritten = idx
+		case 3: // verify the most recent leaf: its ancestors are dirty
+			if lastWritten < 0 {
+				continue
+			}
+			lv := lazy.Verify(lastWritten, content(written[lastWritten]))
+			ev := eager.Verify(lastWritten, content(written[lastWritten]))
+			if !lv || lv != ev {
+				t.Fatalf("step %d: dirty-ancestor verify lazy=%v eager=%v", step, lv, ev)
+			}
+		case 4: // verify wrong content: both must reject
+			idx := rng.Intn(lazy.NumLeaves())
+			bad := content(written[idx] + 1)
+			if lv, ev := lazy.Verify(idx, bad), eager.Verify(idx, bad); lv || lv != ev {
+				t.Fatalf("step %d: wrong-content verify lazy=%v eager=%v", step, lv, ev)
+			}
+		case 5:
+			if lazy.Root() != eager.Root() {
+				t.Fatalf("step %d: roots diverged", step)
+			}
+		}
+	}
+	if lazy.Root() != eager.Root() {
+		t.Fatal("final roots diverged")
+	}
+}
+
+func TestVerifyFlushesDirtySiblingPaths(t *testing.T) {
+	tr := New(8, 4)
+	// Two siblings under one parent, updated without any observation in
+	// between: verifying either must see a consistent path even though the
+	// other's update is still unpropagated when Verify is called.
+	tr.Update(8, content(1))
+	tr.Update(9, content(2))
+	if tr.Dirty() != 2 {
+		t.Fatalf("Dirty() = %d before observation", tr.Dirty())
+	}
+	if !tr.Verify(8, content(1)) || !tr.Verify(9, content(2)) {
+		t.Fatal("verify failed with a dirty sibling path")
+	}
+	if tr.Dirty() != 0 {
+		t.Fatalf("Dirty() = %d after Verify", tr.Dirty())
+	}
+}
+
+func TestFlushDeduplicatesSharedParents(t *testing.T) {
+	reg := telemetry.New()
+	tr := New(8, 4)
+	tr.Instrument(reg)
+	// 64 leaves spanning 8 shared level-1 parents, flushed once.
+	for i := 0; i < 64; i++ {
+		tr.Update(i, content(byte(i)))
+	}
+	root := tr.Root()
+	snap := reg.Snapshot()
+	if got := snap.Counters["merkle.flushes"]; got != 1 {
+		t.Fatalf("merkle.flushes = %d, want 1", got)
+	}
+	h := snap.Histograms["merkle.dirty_leaves_per_flush"]
+	if h == nil || h.Count != 1 || h.Sum != 64 {
+		t.Fatalf("dirty_leaves_per_flush snapshot = %+v", h)
+	}
+	// The deduplicated flush must equal per-update propagation.
+	ref := New(8, 4)
+	for i := 0; i < 64; i++ {
+		eagerUpdate(ref, i, content(byte(i)))
+	}
+	if root != ref.Root() {
+		t.Fatal("deduplicated flush root differs from eager root")
+	}
+}
+
+func TestRebuildDiscardsPendingUpdates(t *testing.T) {
+	tr := New(8, 4)
+	tr.Update(3, content(9))
+	tr.Rebuild(map[int][]byte{5: content(1)})
+	if tr.Dirty() != 0 {
+		t.Fatal("Rebuild left pending updates")
+	}
+	ref := New(8, 4)
+	eagerUpdate(ref, 5, content(1))
+	if tr.Root() != ref.Root() {
+		t.Fatal("rebuild root carries pre-rebuild dirty state")
+	}
+}
+
+func TestAppendPathNodesMatchesPathNodes(t *testing.T) {
+	tr := New(8, 9)
+	scratch := make([]NodeID, 0, tr.Levels())
+	for _, idx := range []int{0, 12345, tr.NumLeaves() - 1} {
+		scratch = tr.AppendPathNodes(scratch[:0], idx)
+		want := tr.PathNodes(idx)
+		if len(scratch) != len(want) {
+			t.Fatalf("leaf %d: len %d != %d", idx, len(scratch), len(want))
+		}
+		for i := range want {
+			if scratch[i] != want[i] {
+				t.Fatalf("leaf %d node %d: %+v != %+v", idx, i, scratch[i], want[i])
+			}
+		}
 	}
 }

@@ -19,10 +19,13 @@ type fakeSource struct {
 }
 
 func (f *fakeSource) snapshot() *telemetry.Snapshot {
-	s := telemetry.NewSnapshot()
-	s.Counters["pcm.reads"] = f.reads
-	s.Runs = 1
-	return s
+	// Built through a real registry so histogram metrics (bucket layout,
+	// count/sum series) flow exactly as the core sink produces them.
+	reg := telemetry.New()
+	reg.Counter("pcm.reads").Add(f.reads)
+	reg.Counter("merkle.flushes").Add(7)
+	reg.Histogram("merkle.dirty_leaves_per_flush").Observe(64)
+	return reg.Snapshot()
 }
 
 func get(t *testing.T, url string) (int, string) {
@@ -67,6 +70,13 @@ func TestServerEndpoints(t *testing.T) {
 	if !strings.Contains(body, "fsencr_span_drops_total 0") {
 		t.Errorf("/metrics missing span-drops series:\n%s", body)
 	}
+	if !strings.Contains(body, "fsencr_merkle_flushes 7") {
+		t.Errorf("/metrics missing merkle flush counter:\n%s", body)
+	}
+	if !strings.Contains(body, "fsencr_merkle_dirty_leaves_per_flush_sum 64") ||
+		!strings.Contains(body, "fsencr_merkle_dirty_leaves_per_flush_count 1") {
+		t.Errorf("/metrics missing merkle dirty-leaves histogram:\n%s", body)
+	}
 
 	// First snapshot fetch publishes on demand; the delta of publication #1
 	// is the absolute state.
@@ -81,6 +91,10 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if doc.Seq != 1 || doc.Snapshot.Counters["pcm.reads"] != 42 || doc.Delta.Counters["pcm.reads"] != 42 {
 		t.Fatalf("/snapshot.json publication #1: %+v", doc)
+	}
+	if doc.Snapshot.Counters["merkle.flushes"] != 7 ||
+		doc.Snapshot.Histograms["merkle.dirty_leaves_per_flush"].Sum != 64 {
+		t.Fatalf("/snapshot.json missing merkle write-back metrics: %+v", doc.Snapshot)
 	}
 
 	// Advance the source and publish again: the delta carries the change.
