@@ -32,7 +32,7 @@ vet:
 # kvstore), one iteration batch each — enough for before/after comparisons
 # of the fast-path.
 bench:
-	$(GO) test -run '^$$' -bench 'ReadLine|WriteLine' ./internal/memctrl
+	$(GO) test -run '^$$' -bench 'ReadLine|WriteLine|ReadPage|WritePage' ./internal/memctrl
 	$(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' ./internal/merkle
 	$(GO) test -run '^$$' -bench . ./internal/aesctr
 	$(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore
@@ -42,7 +42,7 @@ bench:
 # so later PRs can diff ns/op against this commit.
 bench-json:
 	@{ \
-	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine' ./internal/memctrl ; \
+	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine|ReadPage|WritePage' ./internal/memctrl ; \
 	  $(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' ./internal/merkle ; \
 	  $(GO) test -run '^$$' -bench . ./internal/aesctr ; \
 	  $(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore ; \
@@ -63,7 +63,7 @@ bench-json:
 # if a baseline benchmark disappeared.
 bench-check:
 	@{ \
-	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine' -count 3 ./internal/memctrl ; \
+	  $(GO) test -run '^$$' -bench 'ReadLine|WriteLine|ReadPage|WritePage' -count 3 ./internal/memctrl ; \
 	  $(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' -count 3 ./internal/merkle ; \
 	  $(GO) test -run '^$$' -bench . -count 3 ./internal/aesctr ; \
 	  $(GO) test -run '^$$' -bench 'Put|Get' -count 3 ./internal/kvstore ; \
@@ -73,8 +73,11 @@ bench-check:
 # the telemetry hooks on ReadLine/WriteLine must stay under 3% of the
 # op's ns/op. TestWriteLineGapGuard rides along: it pins the
 # WriteLine/ReadLine ns/op ratio so eager per-write Merkle propagation
-# cannot silently return. See internal/memctrl/overhead_guard_test.go.
+# cannot silently return. TestPageGapGuard pins the batched page path at
+# no worse than half the host cost of 64 WriteLine calls, so the
+# one-fetch/one-key-schedule batching cannot silently degenerate back to
+# per-line work. See internal/memctrl/overhead_guard_test.go.
 overhead-guard:
-	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard' -v ./internal/memctrl
+	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard|TestPageGapGuard' -v ./internal/memctrl
 
 ci: build vet test smoke race overhead-guard bench-check

@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -122,6 +123,7 @@ func loadgenMain(args []string) {
 		det     = fl.Bool("det", false, "assign schedule sequence numbers (server must run -det)")
 		shards  = fl.Int("shards", 4, "with -det: the server's shard count")
 		cross   = fl.Int("cross-every", 8, "every Nth op probes another tenant's file (0 disables)")
+		asJSON  = fl.Bool("json", false, "emit the report as JSON instead of text")
 	)
 	fl.Parse(args)
 	base := *addr
@@ -141,7 +143,15 @@ func loadgenMain(args []string) {
 	if err != nil {
 		fail(1, err)
 	}
-	fmt.Println(rep)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(1, err)
+		}
+	} else {
+		fmt.Println(rep)
+	}
 	if rep.Leaks > 0 {
 		fail(3, fmt.Errorf("%d cross-tenant leaks", rep.Leaks))
 	}

@@ -1,11 +1,14 @@
 package fsclient
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fsencr/internal/fsproto"
 	"fsencr/internal/sim"
@@ -75,30 +78,80 @@ func (o *LoadgenOptions) defaults() {
 	}
 }
 
+// OpLatency is one op kind's client-observed throughput and latency
+// distribution over the run (wall-clock; failed calls included — a
+// denial's cost is part of the workload).
+type OpLatency struct {
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+}
+
 // LoadgenReport is the outcome of one load run.
 type LoadgenReport struct {
-	Clients int
-	Tenants int
-	Ops     uint64 // operations attempted, setup included
+	Clients int    `json:"clients"`
+	Tenants int    `json:"tenants"`
+	Ops     uint64 `json:"ops"` // operations attempted, setup included
 
-	Reads  uint64
-	Writes uint64
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
 
-	CrossProbes uint64 // cross-tenant read attempts
-	CrossDenied uint64 // ... denied by permission bits or the per-file key
+	CrossProbes uint64 `json:"cross_probes"` // cross-tenant read attempts
+	CrossDenied uint64 `json:"cross_denied"` // ... denied by permission bits or the per-file key
 
-	Busy   uint64 // backpressure rejections
-	Errors uint64 // unexpected failures
+	Busy   uint64 `json:"busy"`   // backpressure rejections
+	Errors uint64 `json:"errors"` // unexpected failures
 	// Leaks counts cross-tenant probes that returned data, plus own-file
 	// reads of previously-written ranges observing any byte other than the
 	// client's own pattern. Zero is the isolation acceptance criterion.
-	Leaks      uint64
-	FirstError string
+	Leaks      uint64 `json:"leaks"`
+	FirstError string `json:"first_error,omitempty"`
+
+	// ElapsedNs is the wall-clock duration of the whole run; OpsPerSec is
+	// Ops over that window.
+	ElapsedNs uint64  `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Latency breaks throughput and p50/p99 latency down by op kind,
+	// keyed "create" / "write" / "read" / "cross_read".
+	Latency map[string]OpLatency `json:"latency"`
+}
+
+// lgKindNames names the timed op kinds for the latency report.
+var lgKindNames = map[int]string{
+	lgCreate:    "create",
+	lgWrite:     "write",
+	lgRead:      "read",
+	lgCrossRead: "cross_read",
 }
 
 func (r *LoadgenReport) String() string {
-	return fmt.Sprintf("clients %d tenants %d ops %d reads %d writes %d cross-probes %d cross-denied %d busy %d errors %d leaks %d",
+	var b strings.Builder
+	fmt.Fprintf(&b, "clients %d tenants %d ops %d reads %d writes %d cross-probes %d cross-denied %d busy %d errors %d leaks %d",
 		r.Clients, r.Tenants, r.Ops, r.Reads, r.Writes, r.CrossProbes, r.CrossDenied, r.Busy, r.Errors, r.Leaks)
+	fmt.Fprintf(&b, "\nelapsed %.3fs  %.1f ops/s", float64(r.ElapsedNs)/1e9, r.OpsPerSec)
+	for _, k := range []string{"create", "write", "read", "cross_read"} {
+		l, ok := r.Latency[k]
+		if !ok || l.Ops == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%-10s ops %-7d %9.1f ops/s  p50 %9.1fus  p99 %9.1fus",
+			k, l.Ops, l.OpsPerSec, l.P50Us, l.P99Us)
+	}
+	return b.String()
+}
+
+// percentile returns the p-quantile (0..1) of sorted samples by
+// nearest-rank.
+func percentile(sorted []uint64, p float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // Loadgen shape shared by both ends of a deterministic run.
@@ -233,12 +286,15 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 		ops, reads, writes, probes, denied, busy, errs, leaks atomic.Uint64
 		errOnce                                               sync.Once
 		firstErr                                              string
+		latMu                                                 sync.Mutex
+		lats                                                  = map[int][]uint64{} // op kind -> latency ns samples
 	)
 	noteErr := func(c int, op lgOp, err error) {
 		errs.Add(1)
 		errOnce.Do(func() { firstErr = fmt.Sprintf("client %d op kind %d: %v", c, op.kind, err) })
 	}
 
+	runStart := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < o.Clients; c++ {
 		wg.Add(1)
@@ -247,8 +303,26 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 			cl := Dial(base)
 			tenant := lgTenant(c, o.Tenants)
 			pat := Pattern(c)
+			// One pattern buffer per client; writes slice it instead of
+			// allocating per op (Client marshals the body before returning,
+			// so the aliased slice is never retained).
+			pattern := bytes.Repeat([]byte{pat}, lgPageSize)
+			// Latency samples stay client-local until the end of the run.
+			local := map[int][]uint64{}
+			defer func() {
+				latMu.Lock()
+				for k, s := range local {
+					lats[k] = append(lats[k], s...)
+				}
+				latMu.Unlock()
+			}()
+			var start time.Time
+			record := func(kind int) {
+				local[kind] = append(local[kind], uint64(time.Since(start)))
+			}
 			for _, op := range schedule[c] {
 				ops.Add(1)
+				start = time.Now()
 				var err error
 				switch op.kind {
 				case lgLogin:
@@ -270,11 +344,7 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 						Name: lgFile(c), Perm: 0600, Size: lgFileSize, Encrypted: true, Seq: op.seq,
 					})
 				case lgWrite:
-					data := make([]byte, op.n)
-					for i := range data {
-						data[i] = pat
-					}
-					err = cl.Write(fsproto.WriteRequest{Name: lgFile(c), Offset: op.off, Data: data, Seq: op.seq})
+					err = cl.Write(fsproto.WriteRequest{Name: lgFile(c), Offset: op.off, Data: pattern[:op.n], Seq: op.seq})
 					if err == nil {
 						writes.Add(1)
 					}
@@ -299,6 +369,7 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 						Tenant: lgTenant(op.victim, o.Tenants),
 						Offset: 0, Length: op.n, Seq: op.seq,
 					})
+					record(lgCrossRead)
 					if err == nil {
 						// The kernel must deny this: 0600 bits and a
 						// foreign per-file key. Data back = breach.
@@ -316,6 +387,7 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 					}
 					continue
 				}
+				record(op.kind)
 				if err != nil {
 					if IsCode(err, fsproto.CodeBusy) {
 						busy.Add(1)
@@ -327,6 +399,7 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 		}(c)
 	}
 	wg.Wait()
+	elapsed := time.Since(runStart)
 
 	rep.Ops = ops.Load()
 	rep.Reads = reads.Load()
@@ -337,5 +410,24 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 	rep.Errors = errs.Load()
 	rep.Leaks = leaks.Load()
 	rep.FirstError = firstErr
+
+	rep.ElapsedNs = uint64(elapsed)
+	if s := elapsed.Seconds(); s > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / s
+	}
+	rep.Latency = make(map[string]OpLatency, len(lgKindNames))
+	for kind, name := range lgKindNames {
+		samples := lats[kind]
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		rep.Latency[name] = OpLatency{
+			Ops:       uint64(len(samples)),
+			OpsPerSec: float64(len(samples)) / elapsed.Seconds(),
+			P50Us:     float64(percentile(samples, 0.50)) / 1e3,
+			P99Us:     float64(percentile(samples, 0.99)) / 1e3,
+		}
+	}
 	return rep, nil
 }

@@ -18,11 +18,40 @@ import (
 // and the file's salt, eCryptfs-style (FEK wrapped by FEKEK).
 type Keyring struct {
 	sessions map[uint32][32]byte // uid -> master key material
+	// fek memoizes passphrase+salt -> FEK derivations. A service opening
+	// files on every request re-derives the same handful of keys
+	// thousands of times; the SHA-256 derivation was the open path's last
+	// per-request allocation. Unsynchronized, like the rest of the
+	// keyring: a Keyring belongs to one kernel.System, driven by one
+	// goroutine.
+	fek map[fekCacheKey]aesctr.Key
+}
+
+type fekCacheKey struct {
+	pass string
+	salt [8]byte
 }
 
 // NewKeyring returns an empty keyring.
 func NewKeyring() *Keyring {
-	return &Keyring{sessions: make(map[uint32][32]byte)}
+	return &Keyring{
+		sessions: make(map[uint32][32]byte),
+		fek:      make(map[fekCacheKey]aesctr.Key),
+	}
+}
+
+// FileKey returns the File Encryption Key for (passphrase, salt),
+// memoizing the derivation. Derived keys are deterministic, so caching
+// never changes which key a passphrase produces — a wrong passphrase still
+// derives (and caches) a key VerifyKey rejects.
+func (k *Keyring) FileKey(passphrase string, salt [8]byte) aesctr.Key {
+	ck := fekCacheKey{pass: passphrase, salt: salt}
+	if key, ok := k.fek[ck]; ok {
+		return key
+	}
+	key := DeriveFileKey(passphrase, salt)
+	k.fek[ck] = key
+	return key
 }
 
 // Login derives and installs the user's session master key.

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fsencr/internal/addr"
+	"fsencr/internal/aesctr"
 	"fsencr/internal/config"
 	"fsencr/internal/fs"
 	"fsencr/internal/pagecache"
@@ -30,9 +31,10 @@ func (s *System) loadPageCache(p *Process, f *fs.File, pageIdx uint64) (*pagecac
 		return nil, err
 	}
 
-	// Copy device page -> page cache frame (DMA-style streaming read).
-	var buf [config.PageSize]byte
-	p.core.ReadNC(devPA, buf[:])
+	// Copy device page -> page cache frame (DMA-style streaming read,
+	// batched page-granularity datapath).
+	var buf aesctr.Page
+	p.core.ReadPageNC(devPA, &buf)
 	if s.mode == ModeSWEncrypt && f.Encrypted {
 		// Software decryption of the full page, regardless of how few
 		// bytes the application wanted: the 4 KB crypt granularity the
@@ -43,7 +45,7 @@ func (s *System) loadPageCache(p *Process, f *fs.File, pageIdx uint64) (*pagecac
 		p.core.Compute(s.cfg.Kernel.SWCryptoPer16B * (config.PageSize / 16))
 		s.M.Stats().Inc("kernel.sw_decrypts")
 	}
-	p.core.WriteNT(frame, buf[:])
+	p.core.WritePageNT(frame, &buf)
 	p.core.Compute(s.cfg.Kernel.CopyPer64B * config.LinesPerPage)
 
 	pg := &pagecache.Page{Key: key, Frame: frame}
@@ -96,8 +98,8 @@ func (s *System) writebackPage(p *Process, pg *pagecache.Page) {
 		return
 	}
 	p.core.Compute(s.cfg.Kernel.VFSStackLatency)
-	var buf [config.PageSize]byte
-	p.core.ReadNC(pg.Frame, buf[:])
+	var buf aesctr.Page
+	p.core.ReadPageNC(pg.Frame, &buf)
 	if s.mode == ModeSWEncrypt && f.Encrypted {
 		if c, ok := s.swCiphers[f.Ino]; ok {
 			c.CryptPage(pg.Key.PageIdx, buf[:])
@@ -106,7 +108,7 @@ func (s *System) writebackPage(p *Process, pg *pagecache.Page) {
 		s.M.Stats().Inc("kernel.sw_encrypts")
 	}
 	// Non-temporal copy back to the device; the fence makes it durable.
-	p.core.WriteNT(devPA, buf[:])
+	p.core.WritePageNT(devPA, &buf)
 	p.core.Fence()
 	pg.Dirty = false
 	pg.PersistCount = 0

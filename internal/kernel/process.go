@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fsencr/internal/addr"
+	"fsencr/internal/aesctr"
 	"fsencr/internal/config"
 	"fsencr/internal/fs"
 	"fsencr/internal/machine"
@@ -176,6 +177,15 @@ func (p *Process) invalidateFileMappings(f *fs.File) {
 	}
 }
 
+// pageDirect reports whether the (already translated) page holding va is a
+// DAX file mapping whose full-page accesses may use the batched page
+// datapath: the physical page is NVM itself, so whole-page reads and
+// non-temporal writes need no cache-line round trips.
+func (p *Process) pageDirect(va addr.Virt) bool {
+	e := p.pt[va.PageNum()]
+	return e.vma != nil && e.vma.dax && e.vma.file != nil
+}
+
 // Read copies n bytes at va into buf (len(buf) bytes are read).
 func (p *Process) Read(va addr.Virt, buf []byte) error {
 	off := 0
@@ -184,6 +194,13 @@ func (p *Process) Read(va addr.Virt, buf []byte) error {
 		pa, _, err := p.translate(cur)
 		if err != nil {
 			return err
+		}
+		// Page fast path: a page-aligned, page-sized span of a DAX file
+		// moves through the controller's one-call page datapath.
+		if cur.PageOffset() == 0 && len(buf)-off >= config.PageSize && p.pageDirect(cur) {
+			p.core.ReadPageNC(pa, (*aesctr.Page)(buf[off:off+config.PageSize]))
+			off += config.PageSize
+			continue
 		}
 		n := int(config.PageSize - cur.PageOffset())
 		if n > len(buf)-off {
@@ -203,6 +220,14 @@ func (p *Process) Write(va addr.Virt, data []byte) error {
 		pa, cachePage, err := p.translate(cur)
 		if err != nil {
 			return err
+		}
+		// Page fast path: full-page DAX stores go non-temporal through the
+		// batched page datapath — accepted into the persistence domain as
+		// one burst, no read-for-ownership, no cache allocation.
+		if cur.PageOffset() == 0 && len(data)-off >= config.PageSize && p.pageDirect(cur) {
+			p.core.WritePageNT(pa, (*aesctr.Page)(data[off:off+config.PageSize]))
+			off += config.PageSize
+			continue
 		}
 		n := int(config.PageSize - cur.PageOffset())
 		if n > len(data)-off {

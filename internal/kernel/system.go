@@ -177,7 +177,7 @@ func (s *System) CreateFile(p *Process, name string, perm fs.Mode, size uint64, 
 		return nil, err
 	}
 	if encrypted {
-		key := DeriveFileKey(passphrase, f.Salt)
+		key := s.Keyring.FileKey(passphrase, f.Salt)
 		switch s.mode {
 		case ModeSWEncrypt:
 			s.swKeys[f.Ino] = key
@@ -204,7 +204,7 @@ func (s *System) OpenFile(p *Process, name string, want fs.Access, passphrase st
 		return nil, fmt.Errorf("%w: %q", ErrPermission, name)
 	}
 	if f.Encrypted {
-		key := DeriveFileKey(passphrase, f.Salt)
+		key := s.Keyring.FileKey(passphrase, f.Salt)
 		switch s.mode {
 		case ModeSWEncrypt:
 			if stored, ok := s.swKeys[f.Ino]; ok && stored != key {

@@ -326,6 +326,53 @@ func (co *Core) WriteNT(pa addr.Phys, data []byte) {
 	m.st.Inc("machine.nt_writes")
 }
 
+// ReadPageNC performs a non-caching read of one full 4 KB page into dst
+// through the controller's batched page datapath: one counter fetch, one
+// key lookup, and one PCM burst for all 64 lines. If any of the page's
+// lines is present in the hierarchy the access degrades to coherent
+// per-line NC reads (the cached copies may be newer than the NVM). pa must
+// be page-aligned.
+func (co *Core) ReadPageNC(pa addr.Phys, dst *aesctr.Page) {
+	m := co.m
+	base := pa.PageAlign()
+	for off := 0; off < config.PageSize; off += config.LineSize {
+		if _, ok := m.lines[base+addr.Phys(off)]; ok {
+			co.ReadNC(base, dst[:])
+			return
+		}
+	}
+	done := m.MC.ReadPageInto(co.Now, base, dst)
+	if done > co.Now {
+		co.Now = done
+	}
+	m.st.Inc("machine.nc_page_reads")
+}
+
+// WritePageNT performs a non-temporal store of one full 4 KB page through
+// the batched page datapath: the controller accepts all 64 lines as one
+// burst (covered by Fence, like WriteNT), and any cached copies are
+// updated in place and marked clean for coherence. pa must be
+// page-aligned.
+func (co *Core) WritePageNT(pa addr.Phys, src *aesctr.Page) {
+	m := co.m
+	base := pa.PageAlign()
+	for off := 0; off < config.PageSize; off += config.LineSize {
+		if lb, ok := m.lines[base+addr.Phys(off)]; ok {
+			copy(lb.data[:], src[off:off+config.LineSize])
+			lb.dirty = false
+		}
+	}
+	accepted := m.MC.WritePage(co.Now, base, src)
+	if accepted > co.Now {
+		co.Now = accepted
+	}
+	if accepted > co.pendingPersist {
+		co.pendingPersist = accepted
+	}
+	m.st.Inc("machine.nt_writes")
+	m.st.Inc("machine.nt_page_writes")
+}
+
 // Compute advances the core's clock by n cycles of non-memory work.
 func (co *Core) Compute(n config.Cycle) { co.Now += n }
 

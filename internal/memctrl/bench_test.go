@@ -60,6 +60,41 @@ func BenchmarkWriteLine(b *testing.B) {
 	}
 }
 
+var benchPageSink aesctr.Page
+
+// BenchmarkReadPage and BenchmarkWritePage are the batched datapath's
+// numbers against 64x BenchmarkReadLine/BenchmarkWriteLine: one counter
+// fetch, one key lookup, and one Merkle-leaf touch per 4 KB instead of 64.
+// Both must stay allocation-free — the page scratch lives on the
+// controller.
+func BenchmarkReadPage(b *testing.B) {
+	c, las := benchFsEncrController()
+	const pages = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := config.Cycle(0)
+	for i := 0; i < b.N; i++ {
+		c.ReadPageInto(now, las[(i%pages)*config.LinesPerPage], &benchPageSink)
+		now += 200
+	}
+}
+
+func BenchmarkWritePage(b *testing.B) {
+	c, las := benchFsEncrController()
+	const pages = 8
+	var page aesctr.Page
+	for i := range page {
+		page[i] = byte(i * 5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := config.Cycle(0)
+	for i := 0; i < b.N; i++ {
+		c.WritePage(now, las[(i%pages)*config.LinesPerPage], &page)
+		now += 200
+	}
+}
+
 // BenchmarkWriteLineSeqPage writes the 64 lines of a single page in
 // sequence — the write-back tree's best case: all 64 counter-block updates
 // dirty the same Merkle leaf, so the entire page's path propagation

@@ -108,6 +108,15 @@ type Controller struct {
 	// OTPInto fully overwrites its destination, so reuse is safe.
 	padScratch     aesctr.Line
 	filePadScratch aesctr.Line
+	// pagePadScratch/pageFilePadScratch are the batched page-datapath OTP
+	// buffers (WritePage/ReadPage), controller-owned for the same reason —
+	// 4 KB heap escapes per page op would undo the batching's host-cost
+	// win. pageStartScratch/pageDoneScratch carry per-line issue and
+	// completion times between the burst scheduler and AccessPage.
+	pagePadScratch     aesctr.Page
+	pageFilePadScratch aesctr.Page
+	pageStartScratch   [config.LinesPerPage]config.Cycle
+	pageDoneScratch    [config.LinesPerPage]config.Cycle
 
 	// writeQueue holds the completion times of in-flight writes. Writes
 	// are posted: the core's CLWB/SFENCE completes when the store is
@@ -139,7 +148,12 @@ const writeQueueDepth = 64
 // acceptWrite returns the time a write arriving at now is accepted into the
 // persistence domain, waiting for a queue slot if all are in flight.
 func (c *Controller) acceptWrite(now config.Cycle) config.Cycle {
-	// Retire completed writes.
+	c.retireWrites(now)
+	return c.acceptSlot(now)
+}
+
+// retireWrites drops completed writes from the in-flight queue.
+func (c *Controller) retireWrites(now config.Cycle) {
 	live := c.writeQueue[:0]
 	for _, done := range c.writeQueue {
 		if done > now {
@@ -147,6 +161,13 @@ func (c *Controller) acceptWrite(now config.Cycle) config.Cycle {
 		}
 	}
 	c.writeQueue = live
+}
+
+// acceptSlot grants one persistence-domain slot at now, popping the
+// earliest in-flight completion when the queue is full. The page burst path
+// retires once and then claims 64 slots back-to-back; the line path retires
+// before every claim (acceptWrite).
+func (c *Controller) acceptSlot(now config.Cycle) config.Cycle {
 	if len(c.writeQueue) < writeQueueDepth {
 		return now + 1
 	}
@@ -175,7 +196,15 @@ var instanceSeq atomic.Uint64
 // New builds a controller in the given mode. All keys (memory key, OTT key)
 // are generated inside the "processor" and never exposed.
 func New(cfg config.Config, mode Mode, st *stats.Set) *Controller {
-	seq := instanceSeq.Add(1)
+	return newWithSeq(cfg, mode, st, instanceSeq.Add(1))
+}
+
+// newWithSeq builds a controller with an explicit chip sequence number.
+// Tests that must compare ciphertext across two controllers (the
+// page-vs-line equivalence property) pass the same seq to both so the
+// derived processor keys match; production construction always goes
+// through New.
+func newWithSeq(cfg config.Config, mode Mode, st *stats.Set, seq uint64) *Controller {
 	c := &Controller{
 		cfg:           cfg,
 		mode:          mode,

@@ -208,14 +208,17 @@ func (c *Controller) reencryptPageFile(now config.Cycle, page uint64, bumpLine i
 func (c *Controller) reencryptLines(now config.Cycle, page uint64, pads func(li int, oldPad, newPad *aesctr.Line)) config.Cycle {
 	t := now
 	base := addr.Phys(page * config.PageSize)
-	var oldPad, newPad aesctr.Line
+	// The OTP buffers reuse the controller's line-op scratch (free here:
+	// re-encryption happens before the caller touches padScratch), since
+	// locals escape through the cipher.Block interface call.
+	oldPad, newPad := &c.padScratch, &c.filePadScratch
 	for li := 0; li < config.LinesPerPage; li++ {
 		la := base + addr.Phys(li*config.LineSize)
-		pads(li, &oldPad, &newPad)
+		pads(li, oldPad, newPad)
 		cipher := c.PCM.ReadLine(la)
 		t = c.PCM.Access(t, la, false)
-		aesctr.XORInto(&cipher, &oldPad)
-		aesctr.XORInto(&cipher, &newPad)
+		aesctr.XORInto(&cipher, oldPad)
+		aesctr.XORInto(&cipher, newPad)
 		c.PCM.WriteLine(la, cipher)
 		t = c.PCM.Access(t, la, true)
 	}

@@ -54,6 +54,27 @@ func TestWriteLineGapGuard(t *testing.T) {
 	}
 }
 
+// TestPageGapGuard is the CI gate for the batched page datapath's whole
+// reason to exist: one WritePage must cost at most half of 64 WriteLine
+// calls in host time (the issue's acceptance bar is 2x; steady state
+// measures ~4-5x, so this fails only on a real batching regression — a
+// per-line counter fetch, key lookup, or Merkle touch sneaking back into
+// the page loop). Skipped unless FSENCR_OVERHEAD_GUARD=1.
+func TestPageGapGuard(t *testing.T) {
+	if os.Getenv("FSENCR_OVERHEAD_GUARD") == "" {
+		t.Skip("set FSENCR_OVERHEAD_GUARD=1 (or run `make overhead-guard`) to enable")
+	}
+	lineNs := bestNsPerOp(BenchmarkWriteLine)
+	pageNs := bestNsPerOp(BenchmarkWritePage)
+	serial := 64 * lineNs
+	t.Logf("WritePage %.0f ns/op vs 64x WriteLine %.0f ns/op = %.2fx batching win (must be >= 2x)",
+		pageNs, serial, serial/pageNs)
+	if pageNs > serial/2 {
+		t.Errorf("WritePage %.0f ns/op exceeds half of 64x WriteLine (%.0f ns): page batching regressed",
+			pageNs, serial)
+	}
+}
+
 // maxHooksPerLineOp bounds how many telemetry recordings a single
 // ReadLine/WriteLine can reach (latency histogram, metadata fetch, BMT
 // walk depth, key lookup, PCM service + queue, spans), with slack for

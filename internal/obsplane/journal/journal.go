@@ -103,11 +103,18 @@ func New(capacity int) *Journal {
 }
 
 // Emit appends one event, overwriting the oldest entry when the ring is
-// full. Safe for concurrent use; no-op on a nil journal.
+// full. Safe for concurrent use; no-op on a nil journal. The nil check
+// stays in this inlinable wrapper: store's ring write makes its event
+// copy escape, so folding both into one function would heap-allocate the
+// argument even on the nil (detached) path.
 func (j *Journal) Emit(e Event) {
 	if j == nil {
 		return
 	}
+	j.store(e)
+}
+
+func (j *Journal) store(e Event) {
 	seq := j.next.Add(1) - 1
 	e.Seq = seq
 	j.slots[seq%uint64(len(j.slots))].Store(&e)

@@ -91,16 +91,52 @@ func (m *Memory) WriteLine(pa addr.Phys, line aesctr.Line) {
 	copy(f[off:off+config.LineSize], line[:])
 }
 
+// tally accumulates per-access event counts across a batch so a page-sized
+// burst costs a handful of counter updates instead of 64x per-event ones.
+type tally struct {
+	conflicts, rowHits, rowMisses, adaptiveCloses, reads, writes uint64
+}
+
+func (m *Memory) flushTally(t *tally) {
+	if t.conflicts > 0 {
+		m.st.Add("pcm.bank_conflicts", t.conflicts)
+	}
+	if t.rowHits > 0 {
+		m.st.Add("pcm.row_hits", t.rowHits)
+	}
+	if t.rowMisses > 0 {
+		m.st.Add("pcm.row_misses", t.rowMisses)
+	}
+	if t.adaptiveCloses > 0 {
+		m.st.Add("pcm.adaptive_closes", t.adaptiveCloses)
+	}
+	if t.reads > 0 {
+		m.st.Add("pcm.reads", t.reads)
+	}
+	if t.writes > 0 {
+		m.st.Add("pcm.writes", t.writes)
+	}
+}
+
 // Access schedules a line read or write arriving at time now and returns
 // its completion time. Bank state (row buffer, busy-until) is updated.
 func (m *Memory) Access(now config.Cycle, pa addr.Phys, write bool) config.Cycle {
+	var t tally
+	done := m.access(now, pa, write, &t)
+	m.flushTally(&t)
+	return done
+}
+
+// access is the bank state machine shared by Access and AccessPage; event
+// counts land in t, not the stats set.
+func (m *Memory) access(now config.Cycle, pa addr.Phys, write bool, tl *tally) config.Cycle {
 	d := m.mapping.Decompose(pa)
 	b := &m.banks[m.mapping.BankID(d)]
 
 	start := now
 	if b.readyAt > start {
 		start = b.readyAt
-		m.st.Inc("pcm.bank_conflicts")
+		tl.conflicts++
 	}
 	m.tQueue.Observe(uint64(start - now))
 
@@ -109,14 +145,14 @@ func (m *Memory) Access(now config.Cycle, pa addr.Phys, write bool) config.Cycle
 	switch {
 	case rowHit:
 		service = m.cfg.RowBufferHitLatency
-		m.st.Inc("pcm.row_hits")
+		tl.rowHits++
 		b.conflictStreak = 0
 	default:
 		// Row miss: activate (tRCD + array read to fill the row buffer),
 		// then column access.
 		array := m.cfg.ReadLatency
 		service = m.cfg.TRCD + array + m.cfg.TCL + m.cfg.TBURST
-		m.st.Inc("pcm.row_misses")
+		tl.rowMisses++
 		if b.rowValid {
 			b.conflictStreak++
 		}
@@ -125,9 +161,9 @@ func (m *Memory) Access(now config.Cycle, pa addr.Phys, write bool) config.Cycle
 		// PCM writes pay the long cell-write latency on the way to the
 		// array; write recovery keeps the bank busy afterwards.
 		service += m.cfg.WriteLatency
-		m.st.Inc("pcm.writes")
+		tl.writes++
 	} else {
-		m.st.Inc("pcm.reads")
+		tl.reads++
 	}
 
 	done := start + service
@@ -144,10 +180,55 @@ func (m *Memory) Access(now config.Cycle, pa addr.Phys, write bool) config.Cycle
 	if b.conflictStreak >= 2 {
 		b.rowValid = false
 		b.conflictStreak = 0
-		m.st.Inc("pcm.adaptive_closes")
+		tl.adaptiveCloses++
 	}
 	b.readyAt = busyUntil
 	return done
+}
+
+// AccessPage schedules all 64 line accesses of the page containing pa as
+// one burst and returns the completion time of the last. Under the
+// RoRaBaChCo mapping the page's lines stripe across channels and banks
+// (16 row-buffer-local lines per bank on the default geometry), so the
+// per-bank queues drain in parallel — the page completes in roughly the
+// per-bank share of the work, not 64 serialized line times, matching the
+// bank-parallelism the line datapath already exhibits across cores.
+//
+// starts optionally gives each line its own issue time (otherwise all
+// issue at now); dones optionally receives per-line completion times (the
+// controller feeds them to its write queue). Event counters are folded
+// into the stats set once per page instead of once per line.
+func (m *Memory) AccessPage(now config.Cycle, pa addr.Phys, write bool, starts, dones *[config.LinesPerPage]config.Cycle) config.Cycle {
+	base := pa.PageAlign()
+	var tl tally
+	var last config.Cycle
+	for li := 0; li < config.LinesPerPage; li++ {
+		at := now
+		if starts != nil {
+			at = starts[li]
+		}
+		done := m.access(at, base+addr.Phys(li*config.LineSize), write, &tl)
+		if dones != nil {
+			dones[li] = done
+		}
+		if done > last {
+			last = done
+		}
+	}
+	m.flushTally(&tl)
+	return last
+}
+
+// ReadPageInto copies the full 4 KB page containing pa into dst.
+// Functional only; use AccessPage for timing.
+func (m *Memory) ReadPageInto(pa addr.Phys, dst *aesctr.Page) {
+	*dst = aesctr.Page(*m.frame(pa))
+}
+
+// WritePageFrom stores a full 4 KB page at the page containing pa.
+// Functional only.
+func (m *Memory) WritePageFrom(pa addr.Phys, src *aesctr.Page) {
+	*m.frame(pa) = [config.PageSize]byte(*src)
 }
 
 // Reads returns the number of line reads serviced.

@@ -76,6 +76,13 @@ func decode(r *http.Request, v any) error {
 // handler is an authenticated API endpoint.
 type handler func(sess *Session, r *http.Request) (any, error)
 
+// pooledResponse carries a response body whose payload aliases a pooled
+// buffer; endpoint releases it once the JSON encoder has consumed it.
+type pooledResponse struct {
+	v  any
+	pl Payload
+}
+
 // endpoint wraps a handler with method check, latency observation, and
 // session resolution.
 func (svc *Service) endpoint(h handler) http.HandlerFunc {
@@ -95,6 +102,11 @@ func (svc *Service) endpoint(h handler) http.HandlerFunc {
 		v, err := h(sess, r)
 		if err != nil {
 			svc.writeError(w, err)
+			return
+		}
+		if pr, ok := v.(pooledResponse); ok {
+			writeJSON(w, http.StatusOK, pr.v)
+			pr.pl.Release()
 			return
 		}
 		if v == nil {
@@ -178,11 +190,11 @@ func (svc *Service) Mux() *http.ServeMux {
 		if err := decode(r, &req); err != nil {
 			return nil, err
 		}
-		data, err := svc.Read(r.Context(), sess, req)
+		pl, err := svc.Read(r.Context(), sess, req)
 		if err != nil {
 			return nil, err
 		}
-		return fsproto.ReadResponse{Data: data}, nil
+		return pooledResponse{v: fsproto.ReadResponse{Data: pl.Data}, pl: pl}, nil
 	}))
 	mux.HandleFunc("/v1/write", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
 		var req fsproto.WriteRequest
@@ -224,11 +236,11 @@ func (svc *Service) Mux() *http.ServeMux {
 		if err := decode(r, &req); err != nil {
 			return nil, err
 		}
-		val, err := svc.KVGet(r.Context(), sess, req)
+		pl, err := svc.KVGet(r.Context(), sess, req)
 		if err != nil {
 			return nil, err
 		}
-		return fsproto.KVGetResponse{Value: val}, nil
+		return pooledResponse{v: fsproto.KVGetResponse{Value: pl.Data}, pl: pl}, nil
 	}))
 	mux.HandleFunc("/v1/kv/delete", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
 		var req fsproto.KVDeleteRequest

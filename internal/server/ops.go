@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"fsencr/internal/addr"
 	"fsencr/internal/fs"
@@ -20,6 +21,36 @@ var ErrBadRequest = errors.New("server: bad request")
 
 // maxKVValue bounds KV values to one page (the paper's "large" value size).
 const maxKVValue = 4096
+
+// pagePool recycles page-sized payload buffers. The read and KV-get
+// response buffers were the service's last per-request heap allocations;
+// pooling them makes the steady-state read path allocation-free on the
+// worker side.
+var pagePool = sync.Pool{New: func() any { return new([maxKVValue]byte) }}
+
+// Payload is a response byte range, backed by a pooled page buffer when
+// it fits in one page. The consumer must call Release exactly once after
+// encoding Data; Release on the zero Payload is a no-op.
+type Payload struct {
+	Data []byte
+	arr  *[maxKVValue]byte
+}
+
+// newPayload returns an n-byte payload, pooled when page-or-smaller.
+func newPayload(n int) Payload {
+	if n <= maxKVValue {
+		arr := pagePool.Get().(*[maxKVValue]byte)
+		return Payload{Data: arr[:n], arr: arr}
+	}
+	return Payload{Data: make([]byte, n)}
+}
+
+// Release returns the backing buffer to the pool.
+func (p Payload) Release() {
+	if p.arr != nil {
+		pagePool.Put(p.arr)
+	}
+}
 
 // sessState is a session's per-shard state: its simulated process, its
 // file mappings, and its open KV handles. Created and touched exclusively
@@ -153,38 +184,53 @@ func (svc *Service) Create(ctx context.Context, sess *Session, req fsproto.Creat
 	return err
 }
 
+// readInto is the worker-side read datapath: open (permission + per-file
+// key check), bounds-check, and copy [off, off+len(dst)) of the named
+// file into dst. The caller provides the destination, so a steady-state
+// read allocates nothing — and a page-aligned, page-sized read rides the
+// controller's batched page datapath end to end. name must already carry
+// its tenant prefix. Worker-goroutine only.
+func (sh *Shard) readInto(sess *Session, name, passphrase string, off uint64, dst []byte) error {
+	p := sh.proc(sess)
+	f, err := sh.Sys.OpenFile(p, name, fs.ReadAccess, passphrase)
+	if err != nil {
+		return err
+	}
+	if off+uint64(len(dst)) > f.Size {
+		return fmt.Errorf("%w: read [%d,%d) beyond EOF %d", ErrBadRequest, off, off+uint64(len(dst)), f.Size)
+	}
+	va, err := sh.mapping(sess, f)
+	if err != nil {
+		return err
+	}
+	return p.Read(va+addr.Virt(off), dst)
+}
+
 // Read reads a byte range; the kernel enforces permissions and verifies
 // the per-file key, so a cross-tenant or wrong-passphrase attempt fails
-// without a single plaintext byte leaving the shard.
-func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadRequest) ([]byte, error) {
+// without a single plaintext byte leaving the shard. The bytes land in a
+// pooled buffer — Release the returned Payload after encoding it.
+func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadRequest) (Payload, error) {
 	if req.Name == "" || req.Length < 0 {
-		return nil, fmt.Errorf("%w: name and non-negative length required", ErrBadRequest)
+		return Payload{}, fmt.Errorf("%w: name and non-negative length required", ErrBadRequest)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
-	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
-		p := tgt.sh.proc(sess)
-		f, err := tgt.sh.Sys.OpenFile(p, fullName(tgt.tenant, req.Name), fs.ReadAccess, pass(sess, req.Passphrase))
-		if err != nil {
+	name := fullName(tgt.tenant, req.Name)
+	pl := newPayload(req.Length)
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+		if err := tgt.sh.readInto(sess, name, pass(sess, req.Passphrase), req.Offset, pl.Data); err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)
 			return nil, err
 		}
-		if req.Offset+uint64(req.Length) > f.Size {
-			return nil, fmt.Errorf("%w: read [%d,%d) beyond EOF %d", ErrBadRequest, req.Offset, req.Offset+uint64(req.Length), f.Size)
-		}
-		va, err := tgt.sh.mapping(sess, f)
-		if err != nil {
-			return nil, err
-		}
-		buf := make([]byte, req.Length)
-		if err := p.Read(va+addr.Virt(req.Offset), buf); err != nil {
-			return nil, err
-		}
-		return buf, nil
+		return nil, nil
 	})
 	if err != nil {
-		return nil, err
+		// Not released: on a caller timeout the task may still be queued,
+		// and the buffer must not re-enter the pool while a worker could
+		// yet write into it. The GC reclaims it instead.
+		return Payload{}, err
 	}
-	return v.([]byte), nil
+	return pl, nil
 }
 
 // Write stores bytes at an offset and persists them (CLWB+SFENCE under
@@ -324,29 +370,29 @@ func (svc *Service) KVPut(ctx context.Context, sess *Session, req fsproto.KVPutR
 	return err
 }
 
-// KVGet fetches a value.
-func (svc *Service) KVGet(ctx context.Context, sess *Session, req fsproto.KVGetRequest) ([]byte, error) {
+// KVGet fetches a value into a pooled buffer — Release the returned
+// Payload after encoding it.
+func (svc *Service) KVGet(ctx context.Context, sess *Session, req fsproto.KVGetRequest) (Payload, error) {
 	if req.Store == "" {
-		return nil, fmt.Errorf("%w: store required", ErrBadRequest)
+		return Payload{}, fmt.Errorf("%w: store required", ErrBadRequest)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
+	pl := newPayload(maxKVValue)
 	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
 		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.ReadAccess)
 		if err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)
 			return nil, err
 		}
-		buf := make([]byte, maxKVValue)
-		n, err := h.tree.Get(req.Key, buf)
-		if err != nil {
-			return nil, err
-		}
-		return buf[:n], nil
+		return h.tree.Get(req.Key, pl.Data)
 	})
 	if err != nil {
-		return nil, err
+		// Same rationale as Read: a possibly-still-queued task owns the
+		// buffer, so it is dropped rather than pooled.
+		return Payload{}, err
 	}
-	return v.([]byte), nil
+	pl.Data = pl.Data[:v.(int)]
+	return pl, nil
 }
 
 // KVDelete removes a key.
