@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race ci
+.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race malice-race chaos chaos-ci ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,25 @@ smoke:
 
 smoke-race:
 	$(GO) test -race -run 'TestFsencrdSmoke' -v ./internal/server
+
+# Malicious-client smoke under the race detector: forged/replayed tokens,
+# cross-tenant overrides, oversized/forged requests — every attack refused
+# with its documented code, zero plaintext leaked, and the hostile traffic
+# doubles as a race probe of the admission path.
+malice-race:
+	$(GO) test -race -run 'TestMaliciousClientSmoke' -v ./internal/server
+
+# Full chaos campaign: >= 1000 seeded faults injected across the encrypted
+# datapath (counter blocks, data lines, torn writes, OTT region, audit
+# log, counter wrap, crash-at-every-persist-point), 100% detection
+# required; exits nonzero on any undetected corruption. Deterministic:
+# rerunning the same seed reproduces the campaign byte-for-byte.
+chaos:
+	$(GO) run ./cmd/fsencr-chaos -seed 1 -faults 1000
+
+# Bounded chaos campaign for the CI gate (same kinds, smaller budget).
+chaos-ci:
+	$(GO) run ./cmd/fsencr-chaos -seed 1 -faults 150
 
 vet:
 	$(GO) vet ./...
@@ -76,8 +95,11 @@ bench-check:
 # cannot silently return. TestPageGapGuard pins the batched page path at
 # no worse than half the host cost of 64 WriteLine calls, so the
 # one-fetch/one-key-schedule batching cannot silently degenerate back to
-# per-line work. See internal/memctrl/overhead_guard_test.go.
+# per-line work. TestAuditOverheadGuard pins the audit plane's disabled
+# cost: with auditing off, the page datapath's detached Append hooks must
+# stay under 3% of ReadPage/WritePage. See
+# internal/memctrl/overhead_guard_test.go.
 overhead-guard:
-	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard|TestPageGapGuard' -v ./internal/memctrl
+	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard|TestPageGapGuard|TestAuditOverheadGuard' -v ./internal/memctrl
 
-ci: build vet test smoke race overhead-guard bench-check
+ci: build vet test smoke race malice-race chaos-ci overhead-guard bench-check

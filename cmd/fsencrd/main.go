@@ -19,7 +19,10 @@
 // The loadgen mode drives a running server with N concurrent clients
 // spread over M tenants, mixing reads and writes plus periodic
 // cross-tenant probes that the kernel must deny, and exits nonzero on any
-// isolation leak or unexpected error.
+// isolation leak or unexpected error. With -malice it instead runs the
+// malicious-client campaign (forged/replayed tokens, cross-tenant
+// overrides, oversized and forged requests) and exits nonzero if any
+// attack is not refused with its documented error code.
 package main
 
 import (
@@ -123,12 +126,32 @@ func loadgenMain(args []string) {
 		det     = fl.Bool("det", false, "assign schedule sequence numbers (server must run -det)")
 		shards  = fl.Int("shards", 4, "with -det: the server's shard count")
 		cross   = fl.Int("cross-every", 8, "every Nth op probes another tenant's file (0 disables)")
+		malice  = fl.Bool("malice", false, "run the malicious-client attack campaign instead of the load mix")
 		asJSON  = fl.Bool("json", false, "emit the report as JSON instead of text")
 	)
 	fl.Parse(args)
 	base := *addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
+	}
+	if *malice {
+		rep, err := fsclient.RunMalice(base)
+		if err != nil {
+			fail(1, err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fail(1, err)
+			}
+		} else {
+			fmt.Print(rep)
+		}
+		if !rep.Clean() {
+			fail(3, fmt.Errorf("%d attacks got through, %d leaks", rep.Failed, rep.Leaks))
+		}
+		return
 	}
 	rep, err := fsclient.RunLoadgen(base, fsclient.LoadgenOptions{
 		Clients:       *clients,

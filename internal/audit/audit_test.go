@@ -1,0 +1,130 @@
+package audit_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fsencr/internal/audit"
+	"fsencr/internal/config"
+	"fsencr/internal/pcm"
+	"fsencr/internal/stats"
+	"fsencr/internal/telemetry"
+)
+
+const testBase = 1 << 43
+
+func newLog(capacity int) *audit.Log {
+	dev := pcm.New(config.Default().PCM, stats.NewSet())
+	return audit.New(dev, testBase, capacity)
+}
+
+func fill(l *audit.Log, n int) {
+	for i := 0; i < n; i++ {
+		l.Append(uint64(100+i), audit.OpWritePage, uint64(i%7), uint32(1+i%3), uint16(i%5))
+	}
+}
+
+func TestAppendVerifyRoundtrip(t *testing.T) {
+	l := newLog(64)
+	if err := l.Verify(); err != nil {
+		t.Fatalf("empty log must verify: %v", err)
+	}
+	fill(l, 40)
+	if seq, _ := l.Head(); seq != 40 {
+		t.Fatalf("head seq = %d, want 40", seq)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("chain must verify: %v", err)
+	}
+	recs := l.Records()
+	if len(recs) != 40 {
+		t.Fatalf("retained %d records, want 40", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) || r.Cycle != uint64(100+i) || r.Op != audit.OpWritePage {
+			t.Fatalf("record %d decoded wrong: %+v", i, r)
+		}
+	}
+}
+
+func TestRingWrapKeepsChainAnchored(t *testing.T) {
+	l := newLog(16)
+	fill(l, 50)
+	recs := l.Records()
+	if len(recs) != 16 {
+		t.Fatalf("retained %d records, want capacity 16", len(recs))
+	}
+	if recs[0].Seq != 34 || recs[15].Seq != 49 {
+		t.Fatalf("retained window [%d,%d], want [34,49]", recs[0].Seq, recs[15].Seq)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("wrapped chain must verify: %v", err)
+	}
+}
+
+func TestTamperAnyRecordDetected(t *testing.T) {
+	l := newLog(32)
+	fill(l, 32)
+	for _, seq := range []uint64{0, 1, 15, 30, 31} {
+		for _, bit := range []int{0, 77, 200, 255, 300, 511} {
+			if !l.FlipBit(seq, bit) {
+				t.Fatalf("FlipBit(%d,%d) refused a retained record", seq, bit)
+			}
+			if err := l.Verify(); err == nil {
+				t.Fatalf("tampered record %d bit %d not detected", seq, bit)
+			}
+			l.FlipBit(seq, bit) // restore
+			if err := l.Verify(); err != nil {
+				t.Fatalf("restore of record %d bit %d did not heal the chain: %v", seq, bit, err)
+			}
+		}
+	}
+	if l.FlipBit(99, 0) {
+		t.Fatal("FlipBit accepted a non-retained sequence")
+	}
+}
+
+func TestNilLogIsNoop(t *testing.T) {
+	var l *audit.Log
+	l.Append(1, audit.OpMap, 2, 3, 4)
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if recs := l.Records(); recs != nil {
+		t.Fatal("nil log returned records")
+	}
+	if seq, _ := l.Head(); seq != 0 {
+		t.Fatal("nil log has a head")
+	}
+}
+
+func TestInstrumentCountsRecords(t *testing.T) {
+	reg := telemetry.New()
+	l := newLog(8)
+	l.Instrument(reg)
+	fill(l, 5)
+	snap := reg.Snapshot()
+	if snap.Counters["audit.records_total"] != 5 {
+		t.Fatalf("audit.records_total = %d, want 5", snap.Counters["audit.records_total"])
+	}
+}
+
+func TestJSONExportShape(t *testing.T) {
+	l := newLog(8)
+	l.Append(42, audit.OpReadPage, 7, 9, 3)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(l.Records()[0]); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["op"] != "read_page" || doc["page"] != float64(7) || doc["group"] != float64(9) {
+		t.Fatalf("unexpected export shape: %v", doc)
+	}
+	if len(doc["chain"].(string)) != 64 {
+		t.Fatalf("chain not hex-encoded SHA-256: %v", doc["chain"])
+	}
+}

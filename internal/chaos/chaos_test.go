@@ -1,0 +1,100 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fsencr/internal/chaos"
+)
+
+// TestSmallCampaignFullDetection runs a bounded all-kinds campaign and
+// requires 100% detection plus a healthy machine afterwards. This is the
+// tier-1 gate; `make chaos` runs the full >=1000-fault sweep.
+func TestSmallCampaignFullDetection(t *testing.T) {
+	res, err := chaos.Run(chaos.Options{Seed: 1, Faults: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected < 120 {
+		t.Fatalf("injected %d faults, want >= 120", res.Injected)
+	}
+	if !res.Clean() {
+		t.Fatalf("campaign not clean:\n%s", res.String())
+	}
+	if res.Detected != res.Injected {
+		t.Fatalf("detected %d of %d", res.Detected, res.Injected)
+	}
+	// Every selected kind must actually have run.
+	for _, k := range []string{"metadata", "data", "torn", "ott", "wrap", "audit", "crash"} {
+		kr := res.ByKind[k]
+		if kr == nil || kr.Injected == 0 {
+			t.Fatalf("kind %q injected nothing", k)
+		}
+		if kr.Detected != kr.Injected {
+			t.Fatalf("kind %q: %d/%d detected", k, kr.Detected, kr.Injected)
+		}
+	}
+	if res.IntegrityViolations == 0 || res.ECCErrors == 0 {
+		t.Fatalf("detector counters empty: violations=%d ecc=%d",
+			res.IntegrityViolations, res.ECCErrors)
+	}
+	if res.AuditRecords == 0 {
+		t.Fatal("audit plane recorded nothing")
+	}
+}
+
+// TestDeterministicRerun reruns the same seed and requires byte-identical
+// JSON — the reproducibility contract for chaos triage.
+func TestDeterministicRerun(t *testing.T) {
+	run := func() []byte {
+		res, err := chaos.Run(chaos.Options{Seed: 7, Faults: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestSeedChangesCampaign guards against the RNG being ignored.
+func TestSeedChangesCampaign(t *testing.T) {
+	a, err := chaos.Run(chaos.Options{Seed: 1, Faults: 40, Campaign: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.Run(chaos.Options{Seed: 2, Faults: 40, Campaign: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) == string(jb) {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+}
+
+// TestCampaignSubset runs a single-kind campaign and rejects bad names.
+func TestCampaignSubset(t *testing.T) {
+	res, err := chaos.Run(chaos.Options{Seed: 3, Faults: 20, Campaign: "metadata,torn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("subset campaign not clean:\n%s", res.String())
+	}
+	for k := range res.ByKind {
+		if k != "metadata" && k != "torn" {
+			t.Fatalf("unselected kind %q ran", k)
+		}
+	}
+	if _, err := chaos.Run(chaos.Options{Campaign: "nonsense"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

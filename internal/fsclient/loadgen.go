@@ -337,7 +337,11 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 					}
 					continue
 				case lgLogout:
-					_ = cl.Logout()
+					// A failed logout leaves a live session server-side —
+					// that is an error, not noise.
+					if err := cl.Logout(); err != nil {
+						noteErr(c, op, err)
+					}
 					continue
 				case lgCreate:
 					err = cl.Create(fsproto.CreateRequest{

@@ -1,0 +1,260 @@
+package fsclient
+
+// Malicious-client mode: the protocol-level half of the chaos engine. Where
+// internal/chaos attacks the machine from below (bit flips in NVM),
+// RunMalice attacks fsencrd from above — forged and replayed session
+// tokens, cross-tenant namespace overrides, wrong passphrases, oversized
+// and truncated request bodies, forged lengths — and asserts that every
+// attack is refused with the documented stable error code and that not one
+// plaintext byte of the victim's data leaks into any response.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"fsencr/internal/fsproto"
+)
+
+// MaliceAttack is one attack's outcome.
+type MaliceAttack struct {
+	Name string `json:"name"`
+	// WantCodes is the set of acceptable stable error codes.
+	WantCodes []string `json:"want_codes"`
+	GotStatus int      `json:"got_status"`
+	GotCode   string   `json:"got_code"`
+	Passed    bool     `json:"passed"`
+	Leaked    bool     `json:"leaked"`
+}
+
+// MaliceReport is the outcome of one malicious-client campaign.
+type MaliceReport struct {
+	Attacks []MaliceAttack `json:"attacks"`
+	Passed  int            `json:"passed"`
+	Failed  int            `json:"failed"`
+	// Leaks counts attack responses carrying any of the victim's plaintext.
+	// Zero is the acceptance criterion.
+	Leaks int `json:"leaks"`
+}
+
+// Clean reports a fully-refused campaign: every attack got its expected
+// error and nothing leaked.
+func (r *MaliceReport) Clean() bool { return r.Failed == 0 && r.Leaks == 0 }
+
+func (r *MaliceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "malice campaign: %d/%d attacks refused, %d leaks\n",
+		r.Passed, r.Passed+r.Failed, r.Leaks)
+	for _, a := range r.Attacks {
+		status := "ok"
+		if !a.Passed {
+			status = fmt.Sprintf("FAILED (got %d/%q, want %v)", a.GotStatus, a.GotCode, a.WantCodes)
+		}
+		if a.Leaked {
+			status += " LEAKED"
+		}
+		fmt.Fprintf(&b, "  %-28s %s\n", a.Name, status)
+	}
+	return b.String()
+}
+
+// secretByte fills the victim file; any attack response containing a run of
+// it carried victim plaintext.
+const secretByte = byte('Z')
+
+// rawResult is one raw HTTP exchange.
+type rawResult struct {
+	status int
+	code   string
+	body   []byte
+}
+
+// rawDo sends method+body to base+path with the given token header and
+// returns the raw outcome — the attacker's view, below the typed Client.
+func rawDo(hc *http.Client, method, base, path, token string, body []byte) (rawResult, error) {
+	hr, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+	if err != nil {
+		return rawResult{}, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		hr.Header.Set(fsproto.TokenHeader, token)
+	}
+	resp, err := hc.Do(hr)
+	if err != nil {
+		return rawResult{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return rawResult{}, err
+	}
+	var pe fsproto.Error
+	_ = json.Unmarshal(data, &pe) // non-error bodies leave the code empty
+	return rawResult{status: resp.StatusCode, code: pe.Code, body: data}, nil
+}
+
+// leaked reports whether an attack response carried victim plaintext: a
+// successful data payload, or the secret pattern (raw or in the base64
+// encoding the wire uses for byte slices).
+func leaked(res rawResult) bool {
+	var rr fsproto.ReadResponse
+	if json.Unmarshal(res.body, &rr) == nil && len(rr.Data) > 0 {
+		for _, b := range rr.Data {
+			if b == secretByte {
+				return true
+			}
+		}
+	}
+	if bytes.Contains(res.body, bytes.Repeat([]byte{secretByte}, 8)) {
+		return true
+	}
+	// base64("ZZZZZZ...") == "Wlpa"... — the encoded form of a secret run.
+	return bytes.Contains(res.body, []byte("WlpaWlpaWlpa"))
+}
+
+// RunMalice drives the malicious-client campaign against a fair-mode
+// fsencrd at base. It provisions a victim tenant with a 0600 encrypted
+// secret file, then replays the attack list in a fixed order. The campaign
+// is deterministic: fixed identities, fixed order, no randomness.
+func RunMalice(base string) (*MaliceReport, error) {
+	hc := &http.Client{}
+
+	// Victim: private tenant, 0600 encrypted file full of the secret byte.
+	victim := Dial(base)
+	if err := victim.Login("malice-victim", 7, "victim-pw"); err != nil {
+		return nil, fmt.Errorf("malice setup: %w", err)
+	}
+	if err := victim.Create(fsproto.CreateRequest{
+		Name: "secret.dat", Perm: 0600, Size: lgPageSize, Encrypted: true,
+	}); err != nil {
+		return nil, fmt.Errorf("malice setup: %w", err)
+	}
+	if err := victim.Write(fsproto.WriteRequest{
+		Name: "secret.dat", Offset: 0, Data: bytes.Repeat([]byte{secretByte}, lgPageSize),
+	}); err != nil {
+		return nil, fmt.Errorf("malice setup: %w", err)
+	}
+
+	// Attacker: a legitimate session in a different tenant.
+	attacker := Dial(base)
+	if err := attacker.Login("malice-attacker", 1, "attacker-pw"); err != nil {
+		return nil, fmt.Errorf("malice setup: %w", err)
+	}
+
+	// A second session whose token is then replayed after logout.
+	replay := Dial(base)
+	if err := replay.Login("malice-attacker", 2, "replay-pw"); err != nil {
+		return nil, fmt.Errorf("malice setup: %w", err)
+	}
+	replayToken := replay.token
+	if err := replay.Logout(); err != nil {
+		return nil, fmt.Errorf("malice setup: %w", err)
+	}
+
+	readVictim := func(length int) []byte {
+		b, _ := json.Marshal(fsproto.ReadRequest{
+			Name: "secret.dat", Tenant: "malice-victim", Offset: 0, Length: length,
+		})
+		return b
+	}
+
+	type attack struct {
+		name   string
+		method string
+		path   string
+		token  string
+		body   []byte
+		want   []string
+	}
+	attacks := []attack{
+		// Session-token abuse: requests with no, forged, or replayed
+		// (logged-out) tokens must all die at authentication.
+		{"no_token", http.MethodPost, "/v1/read", "",
+			readVictim(64), []string{fsproto.CodeAuth}},
+		{"forged_token", http.MethodPost, "/v1/read", "t999999999",
+			readVictim(64), []string{fsproto.CodeAuth}},
+		{"replayed_session", http.MethodPost, "/v1/read", replayToken,
+			readVictim(64), []string{fsproto.CodeAuth}},
+		// Forged identity: a valid session naming another tenant's
+		// namespace, and a login presenting the wrong passphrase for a
+		// registered (tenant, uid). The kernel's permission bits and the
+		// keyring refuse them; no fallback to "not found" lies.
+		{"cross_tenant_override", http.MethodPost, "/v1/read", attacker.token,
+			readVictim(64), []string{fsproto.CodePermission, fsproto.CodeWrongPassphrase}},
+		{"wrong_passphrase_login", http.MethodPost, "/v1/login", "",
+			mustJSON(fsproto.LoginRequest{Tenant: "malice-victim", UID: 7, Passphrase: "guessed"}),
+			[]string{fsproto.CodeAuth}},
+		// Malformed requests: oversized body (over the 1 MiB bound, so the
+		// JSON is cut mid-document), truncated JSON, forged lengths, wrong
+		// method. All bad_request — never an allocation or a panic.
+		{"oversized_body", http.MethodPost, "/v1/write", attacker.token,
+			mustJSON(fsproto.WriteRequest{Name: "x", Data: bytes.Repeat([]byte{'A'}, 2<<20)}),
+			[]string{fsproto.CodeBadRequest}},
+		{"truncated_body", http.MethodPost, "/v1/read", attacker.token,
+			[]byte(`{"name":"secret.dat","len`), []string{fsproto.CodeBadRequest}},
+		{"negative_length", http.MethodPost, "/v1/read", attacker.token,
+			mustJSON(fsproto.ReadRequest{Name: "secret.dat", Length: -1}),
+			[]string{fsproto.CodeBadRequest}},
+		{"huge_length", http.MethodPost, "/v1/read", attacker.token,
+			readVictim(1 << 30), []string{fsproto.CodeBadRequest}},
+		{"get_method", http.MethodGet, "/v1/read", attacker.token,
+			nil, []string{fsproto.CodeBadRequest}},
+		{"read_beyond_eof", http.MethodPost, "/v1/read", victim.token,
+			mustJSON(fsproto.ReadRequest{Name: "secret.dat", Offset: 1 << 40, Length: 64}),
+			[]string{fsproto.CodeBadRequest}},
+	}
+
+	rep := &MaliceReport{}
+	for _, a := range attacks {
+		res, err := rawDo(hc, a.method, base, a.path, a.token, a.body)
+		if err != nil {
+			return nil, fmt.Errorf("malice attack %s: %w", a.name, err)
+		}
+		out := MaliceAttack{
+			Name: a.name, WantCodes: a.want,
+			GotStatus: res.status, GotCode: res.code,
+			Leaked: leaked(res),
+		}
+		for _, want := range a.want {
+			if res.code == want && res.status >= 400 {
+				out.Passed = true
+				break
+			}
+		}
+		if out.Leaked {
+			rep.Leaks++
+			out.Passed = false
+		}
+		if out.Passed {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		rep.Attacks = append(rep.Attacks, out)
+	}
+
+	// Control: the victim still reads its own data back intact — the
+	// attacks refused service to the attacker, not to the owner.
+	data, err := victim.Read(fsproto.ReadRequest{Name: "secret.dat", Offset: 0, Length: 64})
+	if err != nil {
+		return nil, fmt.Errorf("malice control read: %w", err)
+	}
+	for _, b := range data {
+		if b != secretByte {
+			return nil, fmt.Errorf("malice control read: victim data corrupted")
+		}
+	}
+	return rep, nil
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -6,6 +6,7 @@ import (
 
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
+	"fsencr/internal/audit"
 	"fsencr/internal/config"
 	"fsencr/internal/fs"
 	"fsencr/internal/machine"
@@ -94,6 +95,10 @@ func (s *System) Telemetry() *telemetry.Registry { return s.tel }
 // to the memory controller and the structures it owns). A nil journal
 // detaches.
 func (s *System) AttachJournal(j *journal.Journal) { s.M.AttachJournal(j) }
+
+// EnableAudit enables the machine's tamper-evident access-audit plane and
+// returns the log (capacity <= 0 uses the audit package default).
+func (s *System) EnableAudit(capacity int) *audit.Log { return s.M.EnableAudit(capacity) }
 
 // Kernel-level errors.
 var (

@@ -17,6 +17,7 @@ import (
 
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
+	"fsencr/internal/audit"
 	"fsencr/internal/cache"
 	"fsencr/internal/config"
 	"fsencr/internal/memctrl"
@@ -68,6 +69,10 @@ func (m *Machine) Instrument(reg *telemetry.Registry) {
 // AttachJournal attaches a security-event journal to the memory controller
 // (the machine itself emits no journal events).
 func (m *Machine) AttachJournal(j *journal.Journal) { m.MC.AttachJournal(j) }
+
+// EnableAudit enables the memory controller's tamper-evident access-audit
+// plane (capacity <= 0 uses the audit package default) and returns the log.
+func (m *Machine) EnableAudit(capacity int) *audit.Log { return m.MC.EnableAudit(capacity) }
 
 // SetTracer installs (or removes, with nil) a memory-operation tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }

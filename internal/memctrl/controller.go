@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"fsencr/internal/aesctr"
+	"fsencr/internal/audit"
 	"fsencr/internal/cache"
 	"fsencr/internal/config"
 	"fsencr/internal/counters"
@@ -39,6 +40,9 @@ const (
 	MTBase = 1 << 41
 	// OTTBase is the start of the encrypted OTT region.
 	OTTBase = 1 << 42
+	// AuditBase is the start of the reserved audit-log region (FOX-style
+	// hash-chained access records, internal/audit).
+	AuditBase = 1 << 43
 	// MaxDataBytes bounds the software-visible physical space (16 GB
 	// device, Table III), so page numbers fit the Merkle tree coverage.
 	MaxDataBytes = 16 << 30
@@ -140,6 +144,11 @@ type Controller struct {
 	// emitted from structures that have no clock of their own (OTT, tree).
 	jrn    *journal.Journal
 	jcycle uint64
+
+	// Tamper-evident access-audit log (nil until EnableAudit): hash-chained
+	// page-access records written through to the reserved region at
+	// AuditBase.
+	aud *audit.Log
 }
 
 // writeQueueDepth is the number of in-flight writes the controller buffers.

@@ -2,6 +2,7 @@ package memctrl
 
 import (
 	"encoding/binary"
+	"strconv"
 
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
@@ -35,6 +36,11 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 	c.memEngine.OTPInto(pad, memIV(page, li, mecb.Major, mecb.Minor[li]))
 	otpReady := ctrReady + c.memEngine.Latency()
 	xors := 1
+	// padComplete: the decrypt applied every pad component the data was
+	// written under, so the plaintext is checkable against its ECC tag. A
+	// DF line whose file pad could not be applied (missing key, locked
+	// datapath) deliberately decrypts to garbage and must not be flagged.
+	padComplete := true
 
 	if la.IsDF() && c.fileActive() {
 		fecb, fReady := c.fetchFECB(now, page)
@@ -54,13 +60,41 @@ func (c *Controller) ReadLine(now config.Cycle, pa addr.Phys) (aesctr.Line, conf
 			// bytes — exactly the §VI guarantee.
 			c.st.Inc("mc.key_unavailable")
 			c.journalDFMismatch(kReady, page, fecb.GroupID, fecb.FileID)
+			padComplete = false
 		}
+	} else if la.IsDF() && c.mode.FileEncryption {
+		padComplete = false // locked datapath: file pad skipped
 	}
 
 	done := maxCycle(dataDone, otpReady) + config.Cycle(xors)*c.cfg.Security.XORLatency
 	c.tReadCycles.Observe(uint64(done - now))
 	aesctr.XORInto(&cipher, pad)
+	if padComplete {
+		c.checkECC(done, la.LineNum(), page, li, &cipher)
+	}
 	return cipher, done
+}
+
+// checkECC verifies a decrypted line against the Osiris check tag stored in
+// its ECC bits. A mismatch means the ciphertext at rest was corrupted or
+// tampered with (bit rot, torn write, physical attacker) — the plaintext
+// the caller is about to receive is garbage, and silently returning it
+// would defeat the integrity story, so the event is counted and journalled
+// like a Merkle verification failure. Lines without a tag (never written,
+// or shredded) and the post-crash pre-recovery window (counters are rolled
+// back by design) are skipped.
+func (c *Controller) checkECC(now config.Cycle, lineNum, page uint64, li int, plain *aesctr.Line) {
+	if c.crashed {
+		return
+	}
+	tag, ok := c.ecc[lineNum]
+	if !ok || eccTag(plain) == tag {
+		return
+	}
+	c.violations++
+	c.st.Inc("mc.data_ecc_errors")
+	c.jrn.Emit(journal.Event{Cycle: uint64(now), Type: journal.DataECCError,
+		Page: page, Detail: "line " + strconv.Itoa(li)})
 }
 
 // WriteLine services a dirty writeback (or flush) of the line containing

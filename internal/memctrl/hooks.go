@@ -9,6 +9,7 @@ import (
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
 	"fsencr/internal/config"
+	"fsencr/internal/counters"
 )
 
 // RawLine returns the ciphertext bytes an attacker scanning the physical
@@ -57,6 +58,76 @@ func (c *Controller) evictMeta(metaAddr uint64) {
 	if c.metaCache != nil {
 		c.mcacheFor(metaAddr).Invalidate(metaAddr)
 	}
+}
+
+// FlipMECBBit flips an arbitrary bit of a page's encoded memory counter
+// block behind the Merkle tree's back (the chaos engine's generalization
+// of TamperMECB: any of the 512 stored bits, not just minor[0]'s LSB).
+// The encoding is bijective, so re-encoding on the next fetch reproduces
+// the tampered bytes and Verify must fail. Self-inverse: flipping the same
+// bit again restores the block.
+func (c *Controller) FlipMECBBit(page uint64, bit int) {
+	m := c.getMECB(page)
+	var b counters.Block
+	m.EncodeInto(&b)
+	bit %= len(b) * 8
+	b[bit/8] ^= 1 << (bit % 8)
+	*m = counters.DecodeMECB(b)
+	c.evictMeta(mecbAddr(page))
+}
+
+// FlipFECBBit is FlipMECBBit for the file counter block.
+func (c *Controller) FlipFECBBit(page uint64, bit int) {
+	f := c.getFECB(page)
+	var b counters.Block
+	f.MustEncodeInto(&b)
+	bit %= len(b) * 8
+	b[bit/8] ^= 1 << (bit % 8)
+	*f = counters.DecodeFECB(b)
+	c.evictMeta(fecbAddr(page))
+}
+
+// FlipDataBit flips one bit of the stored ciphertext of the line
+// containing pa, as bit rot or a physical attacker would. The next
+// decrypting read must flag the line via its ECC check tag. Self-inverse.
+func (c *Controller) FlipDataBit(pa addr.Phys, bit int) {
+	raw := pa.LineAlign().Raw()
+	line := c.PCM.ReadLine(raw)
+	bit %= config.LineSize * 8
+	line[bit/8] ^= 1 << (bit % 8)
+	c.PCM.WriteLine(raw, line)
+}
+
+// TearLine models a torn NVM write: the first half of the stored line is
+// replaced (bitwise inverted) while the second half keeps the old
+// contents — the state a crash mid-line-program leaves behind. Detected
+// like any multi-bit corruption by the ECC check tag. Self-inverse.
+func (c *Controller) TearLine(pa addr.Phys) {
+	raw := pa.LineAlign().Raw()
+	line := c.PCM.ReadLine(raw)
+	for i := 0; i < config.LineSize/2; i++ {
+		line[i] ^= 0xFF
+	}
+	c.PCM.WriteLine(raw, line)
+}
+
+// TamperOTTRecord flips one bit of the first sealed record in the OTT
+// region bucket holding (group, file), evicts the on-chip OTT entry and
+// the bucket's metadata-cache line, so the next key lookup must probe the
+// tampered region through the Merkle-verified fetch path. Returns false
+// if no sealed record exists for the bucket. Call again with the same
+// arguments to restore the record.
+func (c *Controller) TamperOTTRecord(group uint32, file uint16, bit int) bool {
+	if c.ottRegion == nil {
+		return false
+	}
+	bucket := c.ottRegion.Bucket(group, file)
+	if !c.ottRegion.FlipBit(bucket, 0, bit) {
+		return false
+	}
+	c.ottTable.Remove(group, file)
+	c.evictMeta(ottBucketAddr(bucket))
+	return true
 }
 
 // CountersForPage returns copies of the page's current counter blocks (for

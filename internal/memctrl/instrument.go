@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"fsencr/internal/audit"
 	"fsencr/internal/config"
 	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/telemetry"
@@ -27,6 +28,9 @@ func (c *Controller) Instrument(reg *telemetry.Registry) {
 	}
 	if c.mt != nil {
 		c.mt.Instrument(reg)
+	}
+	if c.aud != nil {
+		c.aud.Instrument(reg)
 	}
 }
 
@@ -56,6 +60,28 @@ func (c *Controller) AttachJournal(j *journal.Journal) {
 
 // Journal returns the attached security-event journal (nil when detached).
 func (c *Controller) Journal() *journal.Journal { return c.jrn }
+
+// EnableAudit turns on the FOX-style tamper-evident audit plane: a
+// hash-chained log of page-granularity file accesses, written through to
+// the reserved device region at AuditBase (capacity <= 0 uses the audit
+// package default). Idempotent; returns the log. While disabled (the
+// default), every audit hook on the datapath costs one predictable branch
+// — the audit overhead guard pins this.
+func (c *Controller) EnableAudit(capacity int) *audit.Log {
+	if c.aud == nil {
+		c.aud = audit.New(c.PCM, AuditBase, capacity)
+		c.aud.Instrument(c.tel)
+	}
+	return c.aud
+}
+
+// Audit returns the audit log (nil when disabled).
+func (c *Controller) Audit() *audit.Log { return c.aud }
+
+// auditPage emits one access-audit record for a page-path operation.
+func (c *Controller) auditPage(now config.Cycle, op audit.Op, page uint64, group uint32, file uint16) {
+	c.aud.Append(uint64(now), op, page, group, file)
+}
 
 // noteCycle records the simulated cycle of the request entering the
 // datapath, so journal events emitted from clock-less owned structures

@@ -3,6 +3,7 @@ package memctrl
 import (
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
+	"fsencr/internal/audit"
 	"fsencr/internal/config"
 	"fsencr/internal/ott"
 )
@@ -84,6 +85,7 @@ func (c *Controller) InstallKey(now config.Cycle, group uint32, file uint16, key
 	}
 	c.noteCycle(now)
 	c.st.Inc("mc.key_installs")
+	c.aud.Append(uint64(now), audit.OpKeyInstall, 0, group, file)
 	e := ott.Entry{Group: group, File: file, Key: key}
 	c.installOTT(now, e, false)
 	bucket := c.ottRegion.Store(e)
@@ -100,6 +102,7 @@ func (c *Controller) RemoveKey(now config.Cycle, group uint32, file uint16) conf
 	}
 	c.noteCycle(now)
 	c.st.Inc("mc.key_removals")
+	c.aud.Append(uint64(now), audit.OpKeyRemove, 0, group, file)
 	c.ottTable.Remove(group, file)
 	if bucket, removed := c.ottRegion.Remove(group, file); removed {
 		c.PCM.Access(now, addr.Phys(ottBucketAddr(bucket)), true)
@@ -136,6 +139,7 @@ func (c *Controller) TagPage(now config.Cycle, pa addr.Phys, group uint32, file 
 	c.noteCycle(now)
 	c.st.Inc("mc.page_tags")
 	page := pa.PageNum()
+	c.aud.Append(uint64(now), audit.OpMap, page, group, file)
 	fecb, ready := c.fetchFECB(now, page)
 	if fecb.GroupID == group && fecb.FileID == file {
 		return ready
@@ -163,6 +167,7 @@ func (c *Controller) ShredPage(now config.Cycle, pa addr.Phys) config.Cycle {
 	c.st.Inc("mc.page_shreds")
 	page := pa.PageNum()
 	fecb, ready := c.fetchFECB(now, page)
+	c.aud.Append(uint64(now), audit.OpShred, page, fecb.GroupID, fecb.FileID)
 	fecb.Reset()
 	ready = c.touchDirtyCounter(ready, fecbAddr(page), fecbLeaf(page), c.encFECB(fecb))
 	c.PCM.Access(ready, addr.Phys(fecbAddr(page)), true)

@@ -5,6 +5,7 @@ import (
 	"os"
 	"testing"
 
+	"fsencr/internal/audit"
 	"fsencr/internal/telemetry"
 )
 
@@ -72,6 +73,50 @@ func TestPageGapGuard(t *testing.T) {
 	if pageNs > serial/2 {
 		t.Errorf("WritePage %.0f ns/op exceeds half of 64x WriteLine (%.0f ns): page batching regressed",
 			pageNs, serial)
+	}
+}
+
+// benchNilAudit mirrors benchNilHist for the audit plane's detached
+// recorder.
+var benchNilAudit *audit.Log
+
+// maxAuditHooksPerPageOp bounds how many audit emissions one page
+// operation can reach (ReadPageInto and WritePage each emit once; slack
+// for future hooks).
+const maxAuditHooksPerPageOp = 4
+
+// TestAuditOverheadGuard pins the audit plane's disabled cost: with
+// auditing off (the default) every Append on the page datapath is a nil
+// receiver and must degrade to one predictable branch, so a page op's
+// worth of detached audit hooks may not amount to more than 3% of an
+// unaudited ReadPage/WritePage. Skipped unless FSENCR_OVERHEAD_GUARD=1.
+func TestAuditOverheadGuard(t *testing.T) {
+	if os.Getenv("FSENCR_OVERHEAD_GUARD") == "" {
+		t.Skip("set FSENCR_OVERHEAD_GUARD=1 (or run `make overhead-guard`) to enable")
+	}
+
+	nilAppend := bestNsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchNilAudit.Append(uint64(i), audit.OpReadPage, uint64(i), 1, 2)
+		}
+	})
+	budget := nilAppend * maxAuditHooksPerPageOp
+
+	for _, op := range []struct {
+		name  string
+		bench func(b *testing.B)
+	}{
+		{"ReadPage", BenchmarkReadPage},
+		{"WritePage", BenchmarkWritePage},
+	} {
+		opNs := bestNsPerOp(op.bench)
+		limit := 0.03 * opNs
+		t.Logf("%s: %.1f ns/op; %d detached audit hooks cost %.2f ns (limit %.2f ns)",
+			op.name, opNs, maxAuditHooksPerPageOp, budget, limit)
+		if budget > limit {
+			t.Errorf("%s: disabled-audit budget %.2f ns exceeds 3%% of %.1f ns/op",
+				op.name, budget, opNs)
+		}
 	}
 }
 

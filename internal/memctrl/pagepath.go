@@ -3,6 +3,7 @@ package memctrl
 import (
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
+	"fsencr/internal/audit"
 	"fsencr/internal/config"
 )
 
@@ -175,6 +176,7 @@ func (c *Controller) WritePage(now config.Cycle, pa addr.Phys, plain *aesctr.Pag
 
 	if isFile {
 		fecb, fReady := c.fetchFECB(accepted, page)
+		c.auditPage(fReady, audit.OpWritePage, page, fecb.GroupID, fecb.FileID)
 		for li := 0; li < config.LinesPerPage; li++ {
 			fecb.Bump(li)
 		}
@@ -240,9 +242,11 @@ func (c *Controller) ReadPageInto(now config.Cycle, pa addr.Phys, dst *aesctr.Pa
 	// one engine issue slot per line.
 	otpReady := ctrReady + c.memEngine.Latency() + config.Cycle(config.LinesPerPage-1)
 	xors := config.Cycle(1)
+	padComplete := true
 
 	if base.IsDF() && c.fileActive() {
 		fecb, fReady := c.fetchFECB(now, page)
+		c.auditPage(fReady, audit.OpReadPage, page, fecb.GroupID, fecb.FileID)
 		key, kReady, ok := c.lookupKey(fReady, fecb.GroupID, fecb.FileID)
 		if ok {
 			filePad := &c.pageFilePadScratch
@@ -257,12 +261,22 @@ func (c *Controller) ReadPageInto(now config.Cycle, pa addr.Phys, dst *aesctr.Pa
 			for li := 0; li < config.LinesPerPage; li++ {
 				c.journalDFMismatch(kReady, page, fecb.GroupID, fecb.FileID)
 			}
+			padComplete = false
 		}
+	} else if base.IsDF() && c.mode.FileEncryption {
+		padComplete = false // locked datapath: file pad skipped
 	}
 
 	done := maxCycle(dataDone, otpReady) + xors*c.cfg.Security.XORLatency
 	c.tReadCycles.Observe(uint64(done - now))
 	aesctr.XORPageInto(dst, pad)
+	if padComplete {
+		lineNum := base.LineNum()
+		for li := 0; li < config.LinesPerPage; li++ {
+			c.checkECC(done, lineNum+uint64(li), page, li,
+				(*aesctr.Line)(dst[li*config.LineSize:(li+1)*config.LineSize]))
+		}
+	}
 	return done
 }
 

@@ -53,6 +53,10 @@ const (
 	// MerkleVerifyFail: metadata fetched from NVM failed integrity
 	// verification — tampered or replayed (internal/merkle).
 	MerkleVerifyFail Type = "merkle_verify_fail"
+	// DataECCError: a data line decrypted to plaintext that does not match
+	// the Osiris check tag stored in its ECC bits — the ciphertext was
+	// corrupted or tampered with at rest (internal/memctrl).
+	DataECCError Type = "data_ecc_error"
 	// MerkleRootUpdate: the tree was rebuilt wholesale and the
 	// processor-resident root replaced (recovery, transport import).
 	MerkleRootUpdate Type = "merkle_root_update"

@@ -92,6 +92,36 @@ func TestConcurrentEmitKeepsConsistentWindow(t *testing.T) {
 	}
 }
 
+// TestOverflowDropsUnderPressure floods a small ring from several
+// goroutines with 3x its capacity and checks the drop accounting is exact:
+// the drops metric is how operators see that the retained window is a
+// window, not the whole history.
+func TestOverflowDropsUnderPressure(t *testing.T) {
+	const capacity, emitters, perEmitter = 32, 4, 24
+	j := New(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				j.Emit(Event{Type: OTTEvict})
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(emitters * perEmitter)
+	if j.Emitted() != total {
+		t.Fatalf("emitted = %d, want %d", j.Emitted(), total)
+	}
+	if want := total - capacity; j.Drops() != want {
+		t.Fatalf("drops = %d, want %d", j.Drops(), want)
+	}
+	if got := len(j.Events()); got > capacity {
+		t.Fatalf("retained %d > capacity %d", got, capacity)
+	}
+}
+
 func TestWriteJSONL(t *testing.T) {
 	events := []Event{
 		{Seq: 0, Cycle: 10, Type: OTTOpen, Group: 1, File: 2},

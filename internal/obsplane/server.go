@@ -19,8 +19,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"fsencr/internal/audit"
 	"fsencr/internal/obsplane/journal"
 	"fsencr/internal/telemetry"
 )
@@ -37,6 +39,9 @@ type Options struct {
 	// Journal captures the current merged security-event journal; nil
 	// serves an empty journal.
 	Journal func() []journal.Event
+	// Audit captures the current tamper-evident access-audit window; nil
+	// serves an empty log.
+	Audit func() []audit.Record
 	// Interval is the periodic publish cadence (<= 0 uses DefaultInterval).
 	Interval time.Duration
 }
@@ -50,11 +55,26 @@ type Server struct {
 	last  *telemetry.Snapshot // last published state, spans stripped
 	delta *telemetry.Snapshot // change since the previous publish
 
+	// writeErrs counts export responses that failed mid-write (client went
+	// away, encode error). The data is gone either way; the count is
+	// surfaced on /healthz so broken scrapes are visible, not silent.
+	writeErrs atomic.Uint64
+
 	lis  net.Listener
 	hs   *http.Server
 	done chan struct{}
 	wg   sync.WaitGroup
 }
+
+// noteWrite folds one export write result into the error count.
+func (s *Server) noteWrite(err error) {
+	if err != nil {
+		s.writeErrs.Add(1)
+	}
+}
+
+// WriteErrors returns how many export responses failed mid-write.
+func (s *Server) WriteErrors() uint64 { return s.writeErrs.Load() }
 
 // NewServer builds a server; call Start to bind it or mount Handler
 // yourself.
@@ -78,6 +98,13 @@ func (s *Server) capture() *telemetry.Snapshot {
 func (s *Server) journalEvents() []journal.Event {
 	if s.opts.Journal != nil {
 		return s.opts.Journal()
+	}
+	return nil
+}
+
+func (s *Server) auditRecords() []audit.Record {
+	if s.opts.Audit != nil {
+		return s.opts.Audit()
 	}
 	return nil
 }
@@ -116,6 +143,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
 	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/journal.jsonl", s.handleJournal)
+	mux.HandleFunc("/audit.jsonl", s.handleAudit)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -129,7 +157,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	seq := s.seq
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"seq\":%d}\n", seq)
+	_, err := fmt.Fprintf(w, "{\"status\":\"ok\",\"seq\":%d,\"write_errors\":%d}\n",
+		seq, s.writeErrs.Load())
+	s.noteWrite(err)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -137,7 +167,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// brings its own cadence. Runtime gauges are added to this serving-time
 	// copy only — they never touch the deterministic snapshots.
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = s.capture().AddRuntimeGauges().WritePrometheus(w)
+	s.noteWrite(s.capture().AddRuntimeGauges().WritePrometheus(w))
 }
 
 // snapshotDoc is the /snapshot.json shape: the latest numbered publication
@@ -153,17 +183,24 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(snapshotDoc{Seq: seq, Snapshot: last, Delta: delta})
+	s.noteWrite(enc.Encode(snapshotDoc{Seq: seq, Snapshot: last, Delta: delta}))
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.capture().WriteChromeTrace(w)
+	s.noteWrite(s.capture().WriteChromeTrace(w))
 }
 
 func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	_ = journal.WriteJSONL(w, s.journalEvents())
+	s.noteWrite(journal.WriteJSONL(w, s.journalEvents()))
+}
+
+// handleAudit serves the tamper-evident access-audit window as JSONL, one
+// record per line, shard-annotated and chain-valued.
+func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.noteWrite(audit.WriteJSONL(w, s.auditRecords()))
 }
 
 // Start binds addr (":0" picks a free port), serves the plane in the

@@ -171,6 +171,19 @@ func (r *Region) BucketRecords(bucket int) []Sealed {
 	return r.table[bucket]
 }
 
+// FlipBit flips one bit of the idx-th sealed record in bucket, behind the
+// seals' and the Merkle tree's back — the chaos engine's model of a
+// physical attacker rewriting the encrypted OTT region. Self-inverse.
+// Returns false when the slot does not exist.
+func (r *Region) FlipBit(bucket, idx, bit int) bool {
+	if bucket < 0 || bucket >= r.buckets || idx < 0 || idx >= len(r.table[bucket]) {
+		return false
+	}
+	bit %= SealedSize * 8
+	r.table[bucket][idx][bit/8] ^= 1 << (bit % 8)
+	return true
+}
+
 // SealedRecords returns the raw sealed bytes of every record (what an
 // attacker scanning physical memory would see).
 func (r *Region) SealedRecords() []Sealed {

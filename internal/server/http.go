@@ -46,10 +46,16 @@ func httpStatus(err error) (int, string) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes the response body. An encode/write failure after the
+// status line went out cannot be reported to the client; it is counted
+// (server.response_encode_errors_total) so a flood of broken responses is
+// visible on the metrics surface instead of vanishing.
+func (svc *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		svc.cEncErrs.Inc()
+	}
 }
 
 func (svc *Service) writeError(w http.ResponseWriter, err error) {
@@ -58,7 +64,7 @@ func (svc *Service) writeError(w http.ResponseWriter, err error) {
 	if code == fsproto.CodeBusy {
 		svc.cBusy.Inc()
 	}
-	writeJSON(w, status, fsproto.Error{Code: code, Message: err.Error()})
+	svc.writeJSON(w, status, fsproto.Error{Code: code, Message: err.Error()})
 }
 
 // decode reads and unmarshals a bounded JSON body.
@@ -105,14 +111,14 @@ func (svc *Service) endpoint(h handler) http.HandlerFunc {
 			return
 		}
 		if pr, ok := v.(pooledResponse); ok {
-			writeJSON(w, http.StatusOK, pr.v)
+			svc.writeJSON(w, http.StatusOK, pr.v)
 			pr.pl.Release()
 			return
 		}
 		if v == nil {
 			v = fsproto.OKResponse{OK: true}
 		}
-		writeJSON(w, http.StatusOK, v)
+		svc.writeJSON(w, http.StatusOK, v)
 	}
 }
 
@@ -136,7 +142,7 @@ func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
 		svc.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, fsproto.LoginResponse{
+	svc.writeJSON(w, http.StatusOK, fsproto.LoginResponse{
 		Token: sess.token,
 		GID:   sess.gid,
 		Shard: fsproto.ShardIndex(sess.gid, len(svc.shards)),
@@ -150,7 +156,10 @@ func (svc *Service) handleShardsProm(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, sh := range svc.shards {
 		fmt.Fprintf(w, "# shard %d\n", sh.ID())
-		_ = sh.Snapshot().WritePrometheus(w)
+		if err := sh.Snapshot().WritePrometheus(w); err != nil {
+			svc.cEncErrs.Inc()
+			return
+		}
 	}
 }
 
@@ -164,13 +173,14 @@ func (svc *Service) handleShardsJSON(w http.ResponseWriter, _ *http.Request) {
 	for _, sh := range svc.shards {
 		docs = append(docs, shardDoc{Shard: sh.ID(), Snapshot: sh.Snapshot().WithoutSpans()})
 	}
-	writeJSON(w, http.StatusOK, docs)
+	svc.writeJSON(w, http.StatusOK, docs)
 }
 
 // Mux returns the full fsencrd route set: the /v1 API, the per-shard
 // determinism surfaces, and the live observability plane (/metrics,
-// /snapshot.json, /trace.json, /journal.jsonl, /healthz, /debug/pprof)
-// backed by the service's merged telemetry and journals.
+// /snapshot.json, /trace.json, /journal.jsonl, /audit.jsonl, /healthz,
+// /debug/pprof) backed by the service's merged telemetry, journals, and
+// audit logs.
 func (svc *Service) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/login", svc.handleLogin)
@@ -259,6 +269,7 @@ func (svc *Service) Mux() *http.ServeMux {
 	obs := obsplane.NewServer(obsplane.Options{
 		Snapshot: svc.MetricsSnapshot,
 		Journal:  svc.JournalEvents,
+		Audit:    svc.AuditRecords,
 	})
 	mux.Handle("/", obs.Handler())
 	return mux

@@ -22,6 +22,11 @@ var ErrBadRequest = errors.New("server: bad request")
 // maxKVValue bounds KV values to one page (the paper's "large" value size).
 const maxKVValue = 4096
 
+// maxReadBytes bounds one read's response payload, mirroring the request
+// body bound: a JSON response larger than this would not round-trip the
+// protocol anyway, and the bound keeps a forged length from allocating.
+const maxReadBytes = maxBodyBytes
+
 // pagePool recycles page-sized payload buffers. The read and KV-get
 // response buffers were the service's last per-request heap allocations;
 // pooling them makes the steady-state read path allocation-free on the
@@ -213,6 +218,11 @@ func (sh *Shard) readInto(sess *Session, name, passphrase string, off uint64, ds
 func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadRequest) (Payload, error) {
 	if req.Name == "" || req.Length < 0 {
 		return Payload{}, fmt.Errorf("%w: name and non-negative length required", ErrBadRequest)
+	}
+	// Bound before allocating: a forged multi-gigabyte length must fail
+	// here, not in newPayload's make.
+	if req.Length > maxReadBytes {
+		return Payload{}, fmt.Errorf("%w: length %d exceeds limit %d", ErrBadRequest, req.Length, maxReadBytes)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
 	name := fullName(tgt.tenant, req.Name)

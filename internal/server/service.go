@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fsencr/internal/audit"
 	"fsencr/internal/config"
 	"fsencr/internal/fsproto"
 	"fsencr/internal/kernel"
@@ -74,6 +75,8 @@ type Service struct {
 	cAuthFail *telemetry.Counter
 	cXDenied  *telemetry.Counter
 	cBusy     *telemetry.Counter
+	cEncErrs  *telemetry.Counter
+	gJrnDrops *telemetry.Gauge
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -103,6 +106,8 @@ func New(opts Options) *Service {
 		cAuthFail: reg.Counter("server.auth_failures_total"),
 		cXDenied:  reg.Counter("server.cross_tenant_denials_total"),
 		cBusy:     reg.Counter("server.busy_rejections_total"),
+		cEncErrs:  reg.Counter("server.response_encode_errors_total"),
+		gJrnDrops: reg.Gauge("journal.drops_total"),
 		sessions:  make(map[string]*Session),
 	}
 	for i := 0; i < opts.Shards; i++ {
@@ -196,13 +201,70 @@ func (s *Session) Token() string { return s.token }
 // MetricsSnapshot merges the host-side registry with every shard's
 // deterministic registry, in shard order. Aggregate only — per-shard
 // snapshots are served separately so their byte-identity is checkable.
+// Export-time gauges are refreshed here: the audit chain head of each
+// shard and the total number of journal events dropped to ring overflow.
 func (svc *Service) MetricsSnapshot() *telemetry.Snapshot {
+	drops := uint64(0)
+	for _, sh := range svc.shards {
+		svc.reg.Gauge(fmt.Sprintf("server.shard%d.audit_head_seq", sh.ID())).Set(sh.Aud.HeadSeq())
+		drops += sh.Jrn.Drops()
+	}
+	svc.gJrnDrops.Set(drops)
 	out := svc.reg.Snapshot()
 	out.Runs = 1
 	for _, sh := range svc.shards {
 		out.Merge(sh.Snapshot())
 	}
 	return out
+}
+
+// AuditRecords reads back every shard's retained audit window, in shard
+// order, annotating each record with its shard index. Each read runs on
+// the owning worker (DoSide), so exports serialize with tenant traffic.
+func (svc *Service) AuditRecords() []audit.Record {
+	ctx, cancel := context.WithTimeout(context.Background(), svc.opts.RequestTimeout)
+	defer cancel()
+	var out []audit.Record
+	for _, sh := range svc.shards {
+		sh := sh
+		_ = svc.doSideOrClosed(ctx, sh, func() {
+			recs := sh.Aud.Records()
+			for i := range recs {
+				recs[i].Shard = sh.ID()
+			}
+			out = append(out, recs...)
+		})
+	}
+	return out
+}
+
+// VerifyAudit recomputes every shard's audit hash chain against its head
+// register, returning the first break found.
+func (svc *Service) VerifyAudit() error {
+	ctx, cancel := context.WithTimeout(context.Background(), svc.opts.RequestTimeout)
+	defer cancel()
+	for _, sh := range svc.shards {
+		var verr error
+		if err := svc.doSideOrClosed(ctx, sh, func() { verr = sh.Aud.Verify() }); err != nil {
+			return err
+		}
+		if verr != nil {
+			return fmt.Errorf("shard %d: %w", sh.ID(), verr)
+		}
+	}
+	return nil
+}
+
+// doSideOrClosed is DoSide with the service-closed fast path (a drained
+// shard's worker is gone; exports just skip it).
+func (svc *Service) doSideOrClosed(ctx context.Context, sh *Shard, fn func()) error {
+	svc.mu.RLock()
+	closed := svc.closed
+	svc.mu.RUnlock()
+	if closed {
+		return ErrDraining
+	}
+	return sh.DoSide(ctx, fn)
 }
 
 // JournalEvents concatenates the shard journals in shard order,

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fsencr/internal/audit"
 	"fsencr/internal/config"
 	"fsencr/internal/kernel"
 	"fsencr/internal/memctrl"
@@ -64,6 +65,12 @@ type task struct {
 	release func()          // returns the per-tenant queue slot
 }
 
+// sideTask is out-of-band worker work; done is closed after fn ran.
+type sideTask struct {
+	fn   func()
+	done chan struct{}
+}
+
 // Shard is one simulated machine plus its serializing worker.
 type Shard struct {
 	id  int
@@ -80,8 +87,16 @@ type Shard struct {
 	// plus the server's cross-tenant denial and auth-failure events, all
 	// emitted on the worker in admission order).
 	Jrn *journal.Journal
+	// Aud is the shard's tamper-evident access-audit log, appended to by
+	// the shard's memory controller as tenant page traffic flows. Its
+	// device window may only be read on the worker; use DoSide.
+	Aud *audit.Log
 
 	ingress chan task
+	// side carries observability work (audit export/verify) that must run
+	// on the worker but outside both admission disciplines, so a scrape
+	// never consumes a deterministic-schedule slot or a fairness turn.
+	side chan sideTask
 
 	mu        sync.Mutex
 	draining  bool
@@ -111,13 +126,16 @@ func NewShard(id int, cfg config.Config, mode memctrl.Mode, access kernel.Access
 	sys.Instrument(reg)
 	jrn := journal.New(journal.DefaultCapacity)
 	sys.AttachJournal(jrn)
+	aud := sys.EnableAudit(0)
 	sh := &Shard{
 		id:        id,
 		det:       deterministic,
 		Sys:       sys,
 		Reg:       reg,
 		Jrn:       jrn,
+		Aud:       aud,
 		ingress:   make(chan task, 4*perTenant),
+		side:      make(chan sideTask, 8),
 		sems:      make(map[uint32]chan struct{}),
 		perTenant: perTenant,
 		gDepth:    serverReg.Gauge(fmt.Sprintf("server.shard%d.queue_depth", id)),
@@ -198,6 +216,35 @@ func (sh *Shard) Do(ctx context.Context, tenant uint32, seq uint64, fn func() (a
 	}
 }
 
+// DoSide runs fn on the shard's worker goroutine between admitted tasks
+// and waits for it. It serializes observability reads (the audit log's
+// device window, recovery checks) with simulated work without consuming a
+// deterministic-schedule slot or a fairness turn. Under sustained load the
+// worker services side tasks between servings; ctx bounds the wait.
+func (sh *Shard) DoSide(ctx context.Context, fn func()) error {
+	t := sideTask{fn: fn, done: make(chan struct{})}
+	select {
+	case sh.side <- t:
+	case <-sh.stopped:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-sh.stopped:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (sh *Shard) execSide(t sideTask) {
+	t.fn()
+	close(t.done)
+}
+
 // taskDone returns the resources of an admitted task.
 func (sh *Shard) taskDone(t task) {
 	if t.release != nil {
@@ -243,6 +290,8 @@ func (sh *Shard) runDeterministic() {
 		select {
 		case t := <-sh.ingress:
 			pending[t.seq] = t
+		case st := <-sh.side:
+			sh.execSide(st)
 		case <-sh.stop:
 			return
 		}
@@ -266,9 +315,13 @@ func (sh *Shard) runFair() {
 		pending++
 	}
 	for {
-		// Absorb everything already waiting without blocking.
+		// Serve any parked observability work, then absorb everything
+		// already waiting, without blocking.
 		for {
 			select {
+			case st := <-sh.side:
+				sh.execSide(st)
+				continue
 			case t := <-sh.ingress:
 				absorb(t)
 				continue
@@ -280,6 +333,8 @@ func (sh *Shard) runFair() {
 			select {
 			case t := <-sh.ingress:
 				absorb(t)
+			case st := <-sh.side:
+				sh.execSide(st)
 			case <-sh.stop:
 				return
 			}
