@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race malice-race chaos chaos-ci ci
+.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race malice-race slo-smoke chaos chaos-ci ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ smoke-race:
 # doubles as a race probe of the admission path.
 malice-race:
 	$(GO) test -race -run 'TestMaliciousClientSmoke' -v ./internal/server
+
+# SLO-plane smoke: loadgen over real HTTP must leave every tenant with live
+# latency quantiles (p50/p99/p999), burn-rate gauges, queue-wait histograms
+# and a fully-accounted trace tail sampler on /snapshot.json; the request
+# trace waterfall and X-Request-Id propagation tests ride along.
+slo-smoke:
+	$(GO) test -run 'TestSLOSmoke|TestRequestTraceWaterfall|TestRequestIDHeader|TestErrorTracesAlwaysKept' -v ./internal/server
 
 # Full chaos campaign: >= 1000 seeded faults injected across the encrypted
 # datapath (counter blocks, data lines, torn writes, OTT region, audit
@@ -97,9 +104,11 @@ bench-check:
 # one-fetch/one-key-schedule batching cannot silently degenerate back to
 # per-line work. TestAuditOverheadGuard pins the audit plane's disabled
 # cost: with auditing off, the page datapath's detached Append hooks must
-# stay under 3% of ReadPage/WritePage. See
-# internal/memctrl/overhead_guard_test.go.
+# stay under 3% of ReadPage/WritePage. TestTraceOverheadGuard pins the
+# request-trace plane the same way: with no trace active (scope nil or
+# idle), a page op's worth of Active() gates must stay under 3% of
+# ReadPage/WritePage. See internal/memctrl/overhead_guard_test.go.
 overhead-guard:
-	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard|TestPageGapGuard|TestAuditOverheadGuard' -v ./internal/memctrl
+	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard|TestPageGapGuard|TestAuditOverheadGuard|TestTraceOverheadGuard' -v ./internal/memctrl
 
-ci: build vet test smoke race malice-race chaos-ci overhead-guard bench-check
+ci: build vet test smoke race malice-race slo-smoke chaos-ci overhead-guard bench-check

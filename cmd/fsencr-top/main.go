@@ -1,0 +1,40 @@
+// Command fsencr-top is the live operator dashboard for a running
+// fsencrd: it polls the daemon's /snapshot.json observability endpoint
+// and renders request totals and rates, per-shard queue state, the
+// per-tenant SLO plane (p50/p99/p999 latency and error-budget burn), the
+// trace tail-sampler's kept/dropped accounting, and waterfalls of the
+// slowest retained request traces.
+//
+// Usage:
+//
+//	fsencr-top -addr http://127.0.0.1:9144              # refresh every 2s
+//	fsencr-top -addr http://127.0.0.1:9144 -interval 1s
+//	fsencr-top -addr http://127.0.0.1:9144 -once        # one frame, no clear
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fsencr/internal/fstop"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:9144", "fsencrd base URL")
+		interval = flag.Duration("interval", 2*time.Second, "poll period")
+		once     = flag.Bool("once", false, "render one frame and exit")
+	)
+	flag.Parse()
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if err := fstop.Run(fstop.Options{Base: base, Interval: *interval, Once: *once}); err != nil {
+		fmt.Fprintln(os.Stderr, "fsencr-top:", err)
+		os.Exit(1)
+	}
+}

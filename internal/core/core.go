@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"fsencr/internal/config"
 	"fsencr/internal/kernel"
@@ -130,6 +131,15 @@ func (r Result) CyclesPerOp() float64 {
 	return float64(r.Cycles) / float64(r.Ops)
 }
 
+// MintRunTraceID derives the deterministic trace ID of a simulation run
+// from its request identity, so trace exports are byte-identical at any
+// batch parallelism.
+func MintRunTraceID(workload, scheme string, seed uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d", workload, scheme, seed)
+	return telemetry.MintTraceID(h.Sum64(), 0)
+}
+
 // Run executes one simulation request.
 func Run(req Request) (Result, error) {
 	w, err := workloads.Lookup(req.Workload)
@@ -150,10 +160,15 @@ func Run(req Request) (Result, error) {
 
 	sys := kernel.Boot(cfg, req.Scheme.MCMode(), req.Scheme.AccessMode())
 	var reg *telemetry.Registry
+	var scope *telemetry.TraceScope
 	if TelemetryEnabled() {
 		// A private registry per run: the system is driven by a single
-		// goroutine, so everything recorded is deterministic.
+		// goroutine, so everything recorded is deterministic. The trace
+		// scope must attach before Instrument so the components' cached
+		// scope pointers are live.
 		reg = telemetry.New()
+		scope = telemetry.NewTraceScope()
+		reg.AttachTraceScope(scope)
 		sys.Instrument(reg)
 	}
 	var jrn *journal.Journal
@@ -178,6 +193,15 @@ func Run(req Request) (Result, error) {
 	var faultsBefore uint64
 	for _, p := range env.Procs {
 		faultsBefore += p.MinorFaults
+	}
+
+	// Trace the timed phase: the run root span encloses every span the
+	// layers below record, so the chrome export renders a parent-linked
+	// waterfall. The trace ID derives from the request identity alone —
+	// byte-identical exports at any Parallelism.
+	if scope != nil {
+		scope.Begin(MintRunTraceID(req.Workload, req.Scheme.String(), seed), 0)
+		scope.Enter()
 	}
 
 	if err := w.Run(env); err != nil {
@@ -207,8 +231,14 @@ func Run(req Request) (Result, error) {
 		Ops:            req.Ops,
 	}
 	if reg != nil {
-		reg.Span("run", fmt.Sprintf("%s/%s", req.Workload, req.Scheme),
-			uint64(start), uint64(m.MaxCoreTime()), 0)
+		if scope.Active() {
+			scope.Exit("run", fmt.Sprintf("%s/%s", req.Workload, req.Scheme),
+				uint64(start), uint64(m.MaxCoreTime()), 0)
+			scope.End(true)
+		} else {
+			reg.Span("run", fmt.Sprintf("%s/%s", req.Workload, req.Scheme),
+				uint64(start), uint64(m.MaxCoreTime()), 0)
+		}
 		snap := reg.Snapshot()
 		// Fold the whole-run legacy stats counters into the snapshot so the
 		// stats.Set and telemetry-native metrics export through one pipe

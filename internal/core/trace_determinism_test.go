@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fsencr/internal/core"
+)
+
+// traceExportBytes runs a small cross-scheme batch with telemetry (and so
+// request tracing) enabled at the given parallelism, returning the merged
+// sink's chrome-trace export bytes.
+func traceExportBytes(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	core.Parallelism = parallelism
+	core.EnableTelemetry() // fresh sink per call
+	reqs := []core.Request{
+		{Workload: "ycsb", Scheme: core.SchemeFsEncr, Ops: 100},
+		{Workload: "hashmap", Scheme: core.SchemeFsEncr, Ops: 100},
+		{Workload: "ycsb", Scheme: core.SchemeBaseline, Ops: 100},
+		{Workload: "ctree", Scheme: core.SchemeFsEncr, Ops: 100},
+	}
+	if _, err := core.RunBatch(reqs); err != nil {
+		t.Fatalf("batch at parallelism %d: %v", parallelism, err)
+	}
+	var buf bytes.Buffer
+	if err := core.TelemetrySnapshot().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceExportDeterminism runs the same batch serially and at
+// parallelism 8 with request tracing live and asserts the canonical
+// chrome-trace exports are byte-identical — the trace plane must not cost
+// any reproducibility. Under `go test -race` this also exercises the scope
+// attach/flush path across concurrent runs.
+func TestTraceExportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full batch comparison; skipped in -short")
+	}
+	defer func() { core.Parallelism = 0 }()
+
+	serial := traceExportBytes(t, 1)
+	parallel := traceExportBytes(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("chrome-trace export diverged between serial and parallel runs\nserial %d bytes, parallel %d bytes", len(serial), len(parallel))
+	}
+	// The export must actually carry trace linkage, or the comparison says
+	// nothing about the trace plane.
+	if !bytes.Contains(serial, []byte(`"trace"`)) || !bytes.Contains(serial, []byte(`"parent"`)) {
+		t.Fatal("chrome-trace export carries no trace/parent annotations")
+	}
+	// And the timed phase of a run must have produced linked child spans
+	// beneath the run root (DAX workloads drive the kernel syscall layer;
+	// pcm/machine page spans belong to the page-cache path, exercised by
+	// the server tests instead).
+	if !bytes.Contains(serial, []byte(`"cat": "kernel"`)) {
+		t.Fatal("no kernel spans in the traced timed phase")
+	}
+}

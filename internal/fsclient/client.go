@@ -14,10 +14,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 
 	"fsencr/internal/fsproto"
+	"fsencr/internal/telemetry"
 )
 
 // APIError is a non-2xx response decoded from the service's error body.
@@ -25,9 +27,15 @@ type APIError struct {
 	Status  int    // HTTP status
 	Code    string // stable fsproto code ("permission", "busy", ...)
 	Message string
+	// RequestID is the server's X-Request-Id echo (the request's trace ID
+	// in hex), joining this failure to the server-side trace.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("fsencrd: %s (%d %s) [req %s]", e.Message, e.Status, e.Code, e.RequestID)
+	}
 	return fmt.Sprintf("fsencrd: %s (%d %s)", e.Message, e.Status, e.Code)
 }
 
@@ -44,12 +52,35 @@ type Client struct {
 	token string
 	gid   uint32
 	shard int
+
+	// Trace minting state: traceBase hashes the caller identity (tenant
+	// and uid at Login, the base URL before), reqSeq counts requests, and
+	// together they make every request's trace ID deterministic for a
+	// deterministic schedule. sampled is the head-sampling bit (default
+	// on; the server tail-samples among sampled traces).
+	traceBase uint64
+	reqSeq    uint64
+	sampled   bool
+	// LastRequestID is the X-Request-Id of the most recent response.
+	LastRequestID string
 }
 
 // Dial points a client at a server base URL (e.g. "http://127.0.0.1:9144").
 // No connection is made until Login.
 func Dial(base string) *Client {
-	return &Client{base: base, hc: &http.Client{}}
+	return &Client{base: base, hc: &http.Client{}, traceBase: fnv64a(base), sampled: true}
+}
+
+// SetSampled sets the head-sampling bit sent with every request.
+func (c *Client) SetSampled(on bool) { c.sampled = on }
+
+func fnv64a(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // GID returns the tenant group ID echoed by the server at login.
@@ -73,11 +104,18 @@ func (c *Client) post(path string, req, out any) error {
 	if c.token != "" {
 		hr.Header.Set(fsproto.TokenHeader, c.token)
 	}
+	c.reqSeq++
+	tc := fsproto.TraceContext{
+		TraceID: telemetry.MintTraceID(c.traceBase, c.reqSeq),
+		Sampled: c.sampled,
+	}
+	hr.Header.Set(fsproto.TraceHeader, tc.String())
 	resp, err := c.hc.Do(hr)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	c.LastRequestID = resp.Header.Get(fsproto.RequestIDHeader)
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
@@ -87,7 +125,7 @@ func (c *Client) post(path string, req, out any) error {
 		if json.Unmarshal(data, &pe) != nil || pe.Code == "" {
 			pe = fsproto.Error{Code: fsproto.CodeInternal, Message: string(data)}
 		}
-		return &APIError{Status: resp.StatusCode, Code: pe.Code, Message: pe.Message}
+		return &APIError{Status: resp.StatusCode, Code: pe.Code, Message: pe.Message, RequestID: c.LastRequestID}
 	}
 	if out == nil {
 		return nil
@@ -98,6 +136,10 @@ func (c *Client) post(path string, req, out any) error {
 // Login opens the session. seq is the deterministic-mode schedule position
 // of the login on the tenant's shard; omit it in fair mode.
 func (c *Client) Login(tenant string, uid uint32, passphrase string, seq ...uint64) error {
+	// Rebase trace minting on the tenant identity so a deterministic
+	// schedule yields the same trace IDs regardless of the server address.
+	c.traceBase = fnv64a("trace", tenant, fmt.Sprintf("%d", uid))
+	c.reqSeq = 0
 	req := fsproto.LoginRequest{Tenant: tenant, UID: uid, Passphrase: passphrase, Seq: seqPtr(seq)}
 	var resp fsproto.LoginResponse
 	if err := c.post("/v1/login", req, &resp); err != nil {

@@ -2,6 +2,7 @@ package fsclient
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -291,7 +292,17 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 	)
 	noteErr := func(c int, op lgOp, err error) {
 		errs.Add(1)
-		errOnce.Do(func() { firstErr = fmt.Sprintf("client %d op kind %d: %v", c, op.kind, err) })
+		errOnce.Do(func() {
+			// APIError already carries the X-Request-Id echo; surface it
+			// explicitly so a transport-level error without one still reads
+			// unambiguously.
+			var ae *APIError
+			if errors.As(err, &ae) && ae.RequestID != "" {
+				firstErr = fmt.Sprintf("client %d op kind %d request_id %s: %v", c, op.kind, ae.RequestID, err)
+				return
+			}
+			firstErr = fmt.Sprintf("client %d op kind %d: %v", c, op.kind, err)
+		})
 	}
 
 	runStart := time.Now()

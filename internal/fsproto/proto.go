@@ -9,7 +9,10 @@
 package fsproto
 
 import (
+	"fmt"
 	"hash/fnv"
+	"strconv"
+	"strings"
 
 	"fsencr/internal/counters"
 )
@@ -50,6 +53,58 @@ func ShardIndex(gid uint32, n int) int {
 
 // TokenHeader carries the session token on authenticated requests.
 const TokenHeader = "X-Fsencr-Token"
+
+// TraceHeader carries the request's TraceContext from client to server;
+// RequestIDHeader echoes the trace ID back on every response so a
+// client-side failure is joinable to the server-side trace.
+const (
+	TraceHeader     = "X-Fsencr-Trace"
+	RequestIDHeader = "X-Request-Id"
+)
+
+// TraceContext is the request-trace identity a client mints and the server
+// threads through admission, shard, kernel, controller and PCM timing.
+type TraceContext struct {
+	// TraceID groups every span of one request; 0 means "no trace".
+	TraceID uint64
+	// Parent is the caller's enclosing span ID (0 when the trace starts
+	// at the client).
+	Parent uint64
+	// Sampled is the head decision: unsampled requests record no spans at
+	// all. The server's tail sampler decides keep/drop among sampled ones.
+	Sampled bool
+}
+
+// String renders the context for the wire header: "traceID-parent-flag"
+// with hex IDs, e.g. "00c3a4d2b1e90f77-0-1".
+func (tc TraceContext) String() string {
+	flag := 0
+	if tc.Sampled {
+		flag = 1
+	}
+	return fmt.Sprintf("%016x-%x-%d", tc.TraceID, tc.Parent, flag)
+}
+
+// ParseTraceContext parses the wire form. A malformed or empty value
+// yields (zero, false): the request simply goes untraced.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return TraceContext{}, false
+	}
+	id, err := strconv.ParseUint(parts[0], 16, 64)
+	if err != nil || id == 0 {
+		return TraceContext{}, false
+	}
+	parent, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: id, Parent: parent, Sampled: parts[2] == "1"}, true
+}
+
+// FormatRequestID renders a trace ID for the X-Request-Id response header.
+func FormatRequestID(id uint64) string { return fmt.Sprintf("%016x", id) }
 
 // Error is the JSON body of every non-2xx response. Code is stable and
 // machine-checkable; Message is for humans.

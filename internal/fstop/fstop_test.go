@@ -1,0 +1,152 @@
+package fstop
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fsencr/internal/telemetry"
+)
+
+// sampleSnapshot builds the shape /snapshot.json serves: host counters,
+// shard and tenant gauges, and one retained request trace.
+func sampleSnapshot() *telemetry.Snapshot {
+	s := telemetry.NewSnapshot()
+	s.Counters["server.requests_total"] = 120
+	s.Counters["server.request_errors_total"] = 2
+	s.Counters["trace.kept_total"] = 10
+	s.Counters["trace.dropped_total"] = 30
+	s.Counters["server.shard0.served_total"] = 80
+	s.Counters["server.tenant.acme.slo_good_total"] = 99
+	s.Counters["server.tenant.acme.slo_bad_total"] = 1
+	s.Gauges["server.shard0.queue_depth"] = 3
+	s.Gauges["server.shard0.audit_head_seq"] = 41
+	s.Gauges["server.tenant.acme.p50_ns"] = 2_000_000
+	s.Gauges["server.tenant.acme.p99_ns"] = 9_000_000
+	s.Gauges["server.tenant.acme.p999_ns"] = 20_000_000
+	s.Gauges["server.tenant.acme.slo_burn_milli"] = 500
+	s.Spans = []telemetry.Span{
+		{Cat: "request", Name: "write", Start: 100, Dur: 900, TraceID: 0xabc, SpanID: 1},
+		{Cat: "request", Name: "queue_wait", Start: 100, Dur: 50, TraceID: 0xabc, SpanID: 2, ParentID: 1},
+		{Cat: "kernel", Name: "write", Start: 150, Dur: 800, TraceID: 0xabc, SpanID: 3, ParentID: 1},
+		{Cat: "pcm", Name: "access_page_write", Start: 400, Dur: 300, TraceID: 0xabc, SpanID: 4, ParentID: 3},
+	}
+	s.Runs = 1
+	return s
+}
+
+// TestRenderFrame pins the dashboard's sections: totals, shard table,
+// tenant SLO table, and an indented trace waterfall.
+func TestRenderFrame(t *testing.T) {
+	var out bytes.Buffer
+	prev := telemetry.NewSnapshot()
+	prev.Counters["server.requests_total"] = 20
+	Render(&out, prev, sampleSnapshot(), 10*time.Second, "http://x:1")
+	got := out.String()
+
+	for _, want := range []string{
+		"requests",
+		"10.0/s", // (120-20)/10s
+		"kept 10  dropped 30  (of 40 sampled)",
+		"SHARD",
+		"AUDIT_HEAD",
+		"TENANT",
+		"acme",
+		"2.00ms",  // p50
+		"9.00ms",  // p99
+		"20.00ms", // p999
+		"0.50x",   // burn 500 milli
+		"SLOWEST TRACES (1 retained)",
+		"trace 0000000000000abc",
+		"queue_wait",
+		"access_page_write",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q:\n%s", want, got)
+		}
+	}
+	// The pcm span nests two levels under the root: deeper indent than the
+	// kernel span.
+	kernelLine, pcmLine := "", ""
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "kernel") {
+			kernelLine = line
+		}
+		if strings.Contains(line, "pcm") {
+			pcmLine = line
+		}
+	}
+	if kernelLine == "" || pcmLine == "" {
+		t.Fatalf("waterfall lines missing:\n%s", got)
+	}
+	indent := func(s string) int { return len(s) - len(strings.TrimLeft(s, " ")) }
+	if indent(pcmLine) <= indent(kernelLine) {
+		t.Errorf("pcm span not nested deeper than kernel:\n%q\n%q", kernelLine, pcmLine)
+	}
+}
+
+// TestRunOncePolls drives Run in once mode against a fake daemon serving
+// the real obsplane shape: /snapshot.json is a numbered publication doc
+// with spans stripped, and the retained spans live on /spans.json.
+func TestRunOncePolls(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/snapshot.json":
+			doc := struct {
+				Seq      uint64              `json:"seq"`
+				Snapshot *telemetry.Snapshot `json:"snapshot"`
+			}{Seq: 1, Snapshot: sampleSnapshot().WithoutSpans()}
+			if err := json.NewEncoder(w).Encode(doc); err != nil {
+				t.Error(err)
+			}
+		case "/spans.json":
+			if err := sampleSnapshot().WriteJSON(w); err != nil {
+				t.Error(err)
+			}
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer hs.Close()
+
+	var out bytes.Buffer
+	if err := Run(Options{Base: hs.URL, Once: true, Out: &out}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, want := range []string{"acme", "requests       120", "SLOWEST TRACES", "access_page_write"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("once-mode frame missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), clearScreen) {
+		t.Fatal("once mode must not clear the screen")
+	}
+}
+
+// TestFetchPlainSnapshot pins the fallback decode path: a daemon serving a
+// bare snapshot body (no publication wrapper) still renders.
+func TestFetchPlainSnapshot(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/snapshot.json" {
+			http.NotFound(w, r)
+			return
+		}
+		if err := sampleSnapshot().WriteJSON(w); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer hs.Close()
+
+	s, err := Fetch(http.DefaultClient, hs.URL)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if s.Counters["server.requests_total"] != 120 || len(s.Spans) != 4 {
+		t.Fatalf("plain-shape decode lost data: %+v", s)
+	}
+}

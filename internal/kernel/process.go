@@ -188,6 +188,9 @@ func (p *Process) pageDirect(va addr.Virt) bool {
 
 // Read copies n bytes at va into buf (len(buf) bytes are read).
 func (p *Process) Read(va addr.Virt, buf []byte) error {
+	if done := p.sys.traceOp(p, "read"); done != nil {
+		defer done()
+	}
 	off := 0
 	for off < len(buf) {
 		cur := va + addr.Virt(off)
@@ -214,6 +217,9 @@ func (p *Process) Read(va addr.Virt, buf []byte) error {
 
 // Write stores data at va.
 func (p *Process) Write(va addr.Virt, data []byte) error {
+	if done := p.sys.traceOp(p, "write"); done != nil {
+		defer done()
+	}
 	off := 0
 	for off < len(data) {
 		cur := va + addr.Virt(off)
@@ -250,6 +256,9 @@ func (p *Process) Write(va addr.Virt, data []byte) error {
 func (p *Process) Persist(va addr.Virt, n uint64) error {
 	if n == 0 {
 		return nil
+	}
+	if done := p.sys.traceOp(p, "persist"); done != nil {
+		defer done()
 	}
 	s := p.sys
 	if s.mode == ModeDAX {

@@ -75,6 +75,7 @@ type System struct {
 	procs      []*Process
 
 	tel          *telemetry.Registry
+	trace        *telemetry.TraceScope
 	tPageFaults  *telemetry.Counter
 	tFaultCycles *telemetry.Histogram
 }
@@ -83,9 +84,23 @@ type System struct {
 // below it. A nil registry detaches.
 func (s *System) Instrument(reg *telemetry.Registry) {
 	s.tel = reg
+	s.trace = reg.Scope()
 	s.tPageFaults = reg.Counter("kernel.page_faults")
 	s.tFaultCycles = reg.Histogram("kernel.page_fault_cycles")
 	s.M.Instrument(reg)
+}
+
+// traceOp opens a kernel-category span on the request trace when one is
+// active, returning the closer to defer (nil when untraced, so the hot
+// path pays one branch).
+func (s *System) traceOp(p *Process, name string) func() {
+	ts := s.trace
+	if !ts.Active() {
+		return nil
+	}
+	start := uint64(p.core.Now)
+	ts.Enter()
+	return func() { ts.Exit("kernel", name, start, uint64(p.core.Now), p.core.ID()) }
 }
 
 // Telemetry returns the attached registry (nil when uninstrumented).
@@ -170,6 +185,9 @@ func (s *System) NewProcess(uid, gid uint32) *Process {
 // registered with the memory controller over MMIO (§III-F1) — or retained
 // by the kernel for software encryption, depending on the access mode.
 func (s *System) CreateFile(p *Process, name string, perm fs.Mode, size uint64, encrypted bool, passphrase string) (*fs.File, error) {
+	if done := s.traceOp(p, "create_file"); done != nil {
+		defer done()
+	}
 	p.core.Compute(s.cfg.Kernel.SyscallLatency)
 	if encrypted && passphrase == "" {
 		return nil, ErrNoPassphrase
@@ -200,6 +218,9 @@ func (s *System) CreateFile(p *Process, name string, perm fs.Mode, size uint64, 
 // passphrase is rejected even if permission bits (after, say, an accidental
 // chmod 777) would have allowed the access (§VI).
 func (s *System) OpenFile(p *Process, name string, want fs.Access, passphrase string) (*fs.File, error) {
+	if done := s.traceOp(p, "open_file"); done != nil {
+		defer done()
+	}
 	p.core.Compute(s.cfg.Kernel.SyscallLatency)
 	f, err := s.FS.Lookup(name)
 	if err != nil {
@@ -228,6 +249,9 @@ func (s *System) OpenFile(p *Process, name string, want fs.Access, passphrase st
 // OTT region, and every page is shredded Silent-Shredder-style so the data
 // is unrecoverable even with the old key (§VI, "Secure File Deletion").
 func (s *System) Unlink(p *Process, name string) error {
+	if done := s.traceOp(p, "unlink"); done != nil {
+		defer done()
+	}
 	p.core.Compute(s.cfg.Kernel.SyscallLatency)
 	f, err := s.FS.Lookup(name)
 	if err != nil {
@@ -266,6 +290,9 @@ func (s *System) Unlink(p *Process, name string) error {
 // next to the per-file key — an over-permissive chmod still leaves
 // encrypted content unreadable without the right passphrase.
 func (s *System) Chmod(p *Process, name string, perm fs.Mode) error {
+	if done := s.traceOp(p, "chmod"); done != nil {
+		defer done()
+	}
 	p.core.Compute(s.cfg.Kernel.SyscallLatency)
 	f, err := s.FS.Lookup(name)
 	if err != nil {
@@ -276,6 +303,9 @@ func (s *System) Chmod(p *Process, name string, perm fs.Mode) error {
 
 // Sync writes back every dirty page-cache page (non-DAX modes).
 func (s *System) Sync(p *Process) {
+	if done := s.traceOp(p, "sync"); done != nil {
+		defer done()
+	}
 	p.core.Compute(s.cfg.Kernel.SyscallLatency)
 	for _, pg := range s.pageCache.DirtyPages() {
 		s.writebackPage(p, pg)

@@ -57,12 +57,14 @@ type Machine struct {
 	flushIssue config.Cycle
 
 	tMissCycles *telemetry.Histogram
+	trace       *telemetry.TraceScope
 }
 
 // Instrument attaches a telemetry registry to the machine and the whole
 // memory side below it. A nil registry detaches.
 func (m *Machine) Instrument(reg *telemetry.Registry) {
 	m.tMissCycles = reg.Histogram("machine.read_miss_cycles")
+	m.trace = reg.Scope()
 	m.MC.Instrument(reg)
 }
 
@@ -339,6 +341,11 @@ func (co *Core) WriteNT(pa addr.Phys, data []byte) {
 // be page-aligned.
 func (co *Core) ReadPageNC(pa addr.Phys, dst *aesctr.Page) {
 	m := co.m
+	if ts := m.trace; ts.Active() {
+		start := uint64(co.Now)
+		ts.Enter()
+		defer func() { ts.Exit("machine", "read_page_nc", start, uint64(co.Now), co.id) }()
+	}
 	base := pa.PageAlign()
 	for off := 0; off < config.PageSize; off += config.LineSize {
 		if _, ok := m.lines[base+addr.Phys(off)]; ok {
@@ -360,6 +367,11 @@ func (co *Core) ReadPageNC(pa addr.Phys, dst *aesctr.Page) {
 // page-aligned.
 func (co *Core) WritePageNT(pa addr.Phys, src *aesctr.Page) {
 	m := co.m
+	if ts := m.trace; ts.Active() {
+		start := uint64(co.Now)
+		ts.Enter()
+		defer func() { ts.Exit("machine", "write_page_nt", start, uint64(co.Now), co.id) }()
+	}
 	base := pa.PageAlign()
 	for off := 0; off < config.PageSize; off += config.LineSize {
 		if lb, ok := m.lines[base+addr.Phys(off)]; ok {

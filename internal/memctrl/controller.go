@@ -133,6 +133,7 @@ type Controller struct {
 
 	// Telemetry. All nil (no-op) until Instrument is called.
 	tel          *telemetry.Registry
+	trace        *telemetry.TraceScope
 	tReadCycles  *telemetry.Histogram
 	tWriteAccept *telemetry.Histogram
 	tMetaFetch   *telemetry.Histogram

@@ -13,6 +13,7 @@ import (
 // compiled-out configuration.
 func (c *Controller) Instrument(reg *telemetry.Registry) {
 	c.tel = reg
+	c.trace = reg.Scope()
 	c.tReadCycles = reg.Histogram("mc.read_cycles")
 	c.tWriteAccept = reg.Histogram("mc.write_accept_cycles")
 	c.tMetaFetch = reg.Histogram("mc.meta_fetch_cycles")

@@ -120,6 +120,69 @@ func TestAuditOverheadGuard(t *testing.T) {
 	}
 }
 
+// benchNilScope and benchIdleScope are the two disabled-tracing shapes the
+// datapath sees: no scope attached at all (nil pointer, uninstrumented) and
+// a scope attached but with no request being traced (the steady state of an
+// instrumented shard between sampled requests). Package scope keeps the
+// compiler from folding the checks away.
+var (
+	benchNilScope  *telemetry.TraceScope
+	benchIdleScope = telemetry.NewTraceScope()
+)
+
+// maxTraceHooksPerPageOp bounds how many Active() gates one page operation
+// crosses (memctrl entry/exit, pcm, machine — roughly six today), with
+// slack for future hooks.
+const maxTraceHooksPerPageOp = 8
+
+// TestTraceOverheadGuard pins the request-trace plane's disabled cost: when
+// no trace is active — scope nil or merely idle — every hook on the page
+// datapath is a single predictable Active() branch, so a page op's worth of
+// them may not amount to more than 3% of a ReadPage/WritePage. Skipped
+// unless FSENCR_OVERHEAD_GUARD=1.
+func TestTraceOverheadGuard(t *testing.T) {
+	if os.Getenv("FSENCR_OVERHEAD_GUARD") == "" {
+		t.Skip("set FSENCR_OVERHEAD_GUARD=1 (or run `make overhead-guard`) to enable")
+	}
+
+	nilActive := bestNsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if benchNilScope.Active() {
+				b.Fatal("nil scope active")
+			}
+		}
+	})
+	idleActive := bestNsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if benchIdleScope.Active() {
+				b.Fatal("idle scope active")
+			}
+		}
+	})
+	hookNs := nilActive
+	if idleActive > hookNs {
+		hookNs = idleActive // the attached-but-idle shape is the worst case
+	}
+	budget := hookNs * maxTraceHooksPerPageOp
+
+	for _, op := range []struct {
+		name  string
+		bench func(b *testing.B)
+	}{
+		{"ReadPage", BenchmarkReadPage},
+		{"WritePage", BenchmarkWritePage},
+	} {
+		opNs := bestNsPerOp(op.bench)
+		limit := 0.03 * opNs
+		t.Logf("%s: %.1f ns/op; %d inactive trace hooks cost %.2f ns (limit %.2f ns)",
+			op.name, opNs, maxTraceHooksPerPageOp, budget, limit)
+		if budget > limit {
+			t.Errorf("%s: disabled-tracing budget %.2f ns exceeds 3%% of %.1f ns/op",
+				op.name, budget, opNs)
+		}
+	}
+}
+
 // maxHooksPerLineOp bounds how many telemetry recordings a single
 // ReadLine/WriteLine can reach (latency histogram, metadata fetch, BMT
 // walk depth, key lookup, PCM service + queue, spans), with slack for

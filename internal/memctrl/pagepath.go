@@ -129,7 +129,11 @@ func (c *Controller) issuePageWrites(now, firstAccept config.Cycle, raw addr.Phy
 // page's lines, but fetches counter blocks, resolves the file key,
 // updates the Merkle leaf, and checks overflow once per page. Returns the
 // time the last line is accepted into the persistence domain.
-func (c *Controller) WritePage(now config.Cycle, pa addr.Phys, plain *aesctr.Page) config.Cycle {
+func (c *Controller) WritePage(now config.Cycle, pa addr.Phys, plain *aesctr.Page) (done config.Cycle) {
+	if ts := c.trace; ts.Active() {
+		ts.Enter()
+		defer func() { ts.Exit("memctrl", "write_page", uint64(now), uint64(done), 0) }()
+	}
 	c.noteCycle(now)
 	base := pa.PageAlign()
 	raw := base.Raw()
@@ -221,7 +225,11 @@ func (c *Controller) WritePage(now config.Cycle, pa addr.Phys, plain *aesctr.Pag
 // into dst, returning the completion time. Equivalent plaintext to 64
 // ReadLine calls, with the counter fetch, key lookup, and OTP template
 // setup paid once; the PCM side issues all 64 line reads as one burst.
-func (c *Controller) ReadPageInto(now config.Cycle, pa addr.Phys, dst *aesctr.Page) config.Cycle {
+func (c *Controller) ReadPageInto(now config.Cycle, pa addr.Phys, dst *aesctr.Page) (done config.Cycle) {
+	if ts := c.trace; ts.Active() {
+		ts.Enter()
+		defer func() { ts.Exit("memctrl", "read_page", uint64(now), uint64(done), 0) }()
+	}
 	c.noteCycle(now)
 	base := pa.PageAlign()
 	raw := base.Raw()
@@ -267,7 +275,7 @@ func (c *Controller) ReadPageInto(now config.Cycle, pa addr.Phys, dst *aesctr.Pa
 		padComplete = false // locked datapath: file pad skipped
 	}
 
-	done := maxCycle(dataDone, otpReady) + xors*c.cfg.Security.XORLatency
+	done = maxCycle(dataDone, otpReady) + xors*c.cfg.Security.XORLatency
 	c.tReadCycles.Observe(uint64(done - now))
 	aesctr.XORPageInto(dst, pad)
 	if padComplete {

@@ -1,7 +1,7 @@
 // Package obsplane is the live observability plane: an HTTP serving layer
 // over the telemetry sink and the security-event journal, so a running
 // simulation can be scraped (/metrics), inspected (/snapshot.json,
-// /trace.json, /journal.jsonl), health-checked (/healthz), and profiled
+// /spans.json, /trace.json, /journal.jsonl), health-checked (/healthz), and profiled
 // (/debug/pprof) without stopping the batch.
 //
 // The server owns no metrics itself: it reads through caller-supplied
@@ -141,6 +141,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+	mux.HandleFunc("/spans.json", s.handleSpans)
 	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/journal.jsonl", s.handleJournal)
 	mux.HandleFunc("/audit.jsonl", s.handleAudit)
@@ -184,6 +185,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	s.noteWrite(enc.Encode(snapshotDoc{Seq: seq, Snapshot: last, Delta: delta}))
+}
+
+// handleSpans serves the live capture as one plain snapshot document,
+// spans included. The numbered /snapshot.json publications strip spans to
+// keep their deltas small, so trace consumers (fsencr-top's waterfalls)
+// read this endpoint instead.
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.noteWrite(s.capture().WriteJSON(w))
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {

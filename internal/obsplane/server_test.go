@@ -136,7 +136,7 @@ func TestServerNilSources(t *testing.T) {
 	}
 	defer srv.Close()
 	base := "http://" + addr
-	for _, path := range []string{"/healthz", "/metrics", "/snapshot.json", "/trace.json", "/journal.jsonl"} {
+	for _, path := range []string{"/healthz", "/metrics", "/snapshot.json", "/spans.json", "/trace.json", "/journal.jsonl"} {
 		if code, _ := get(t, base+path); code != http.StatusOK {
 			t.Errorf("%s with nil sources: %d", path, code)
 		}

@@ -43,12 +43,14 @@ type Memory struct {
 	// per-access latency shape.
 	tService *telemetry.Histogram
 	tQueue   *telemetry.Histogram
+	trace    *telemetry.TraceScope
 }
 
 // Instrument attaches telemetry handles. A nil registry detaches.
 func (m *Memory) Instrument(reg *telemetry.Registry) {
 	m.tService = reg.Histogram("pcm.service_cycles")
 	m.tQueue = reg.Histogram("pcm.queue_delay_cycles")
+	m.trace = reg.Scope()
 }
 
 // New builds a PCM device from the configuration, reporting traffic into st.
@@ -198,10 +200,17 @@ func (m *Memory) access(now config.Cycle, pa addr.Phys, write bool, tl *tally) c
 // issue at now); dones optionally receives per-line completion times (the
 // controller feeds them to its write queue). Event counters are folded
 // into the stats set once per page instead of once per line.
-func (m *Memory) AccessPage(now config.Cycle, pa addr.Phys, write bool, starts, dones *[config.LinesPerPage]config.Cycle) config.Cycle {
+func (m *Memory) AccessPage(now config.Cycle, pa addr.Phys, write bool, starts, dones *[config.LinesPerPage]config.Cycle) (last config.Cycle) {
+	if ts := m.trace; ts.Active() {
+		name := "access_page_read"
+		if write {
+			name = "access_page_write"
+		}
+		ts.Enter()
+		defer func() { ts.Exit("pcm", name, uint64(now), uint64(last), 0) }()
+	}
 	base := pa.PageAlign()
 	var tl tally
-	var last config.Cycle
 	for li := 0; li < config.LinesPerPage; li++ {
 		at := now
 		if starts != nil {

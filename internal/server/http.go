@@ -58,13 +58,25 @@ func (svc *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (svc *Service) writeError(w http.ResponseWriter, err error) {
+// writeError answers with the error's JSON body and returns the HTTP
+// status it used (the SLO plane scores requests by it).
+func (svc *Service) writeError(w http.ResponseWriter, err error) int {
 	status, code := httpStatus(err)
 	svc.cErrs.Inc()
 	if code == fsproto.CodeBusy {
 		svc.cBusy.Inc()
 	}
 	svc.writeJSON(w, status, fsproto.Error{Code: code, Message: err.Error()})
+	return status
+}
+
+// traceContext parses the client's trace header, minting a server-side
+// (unsampled) ID when absent so every response carries an X-Request-Id.
+func (svc *Service) traceContext(r *http.Request) fsproto.TraceContext {
+	if tc, ok := fsproto.ParseTraceContext(r.Header.Get(fsproto.TraceHeader)); ok {
+		return tc
+	}
+	return fsproto.TraceContext{TraceID: svc.mintServerTraceID()}
 }
 
 // decode reads and unmarshals a bounded JSON body.
@@ -89,25 +101,35 @@ type pooledResponse struct {
 	pl Payload
 }
 
-// endpoint wraps a handler with method check, latency observation, and
-// session resolution.
+// endpoint wraps a handler with method check, latency observation, trace
+// propagation, session resolution, and per-tenant SLO accounting.
 func (svc *Service) endpoint(h handler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		svc.cReqs.Inc()
-		defer func() { svc.hReqNs.Observe(uint64(time.Since(start))) }()
+		tc := svc.traceContext(r)
+		w.Header().Set(fsproto.RequestIDHeader, fsproto.FormatRequestID(tc.TraceID))
+		r = r.WithContext(WithTrace(r.Context(), tc))
+		status := http.StatusOK
+		var sess *Session
+		defer func() {
+			dur := time.Since(start)
+			svc.hReqNs.Observe(uint64(dur))
+			svc.noteRequest(sess, dur, status)
+		}()
 		if r.Method != http.MethodPost {
-			svc.writeError(w, fmt.Errorf("%w: POST required", ErrBadRequest))
+			status = svc.writeError(w, fmt.Errorf("%w: POST required", ErrBadRequest))
 			return
 		}
-		sess, err := svc.session(r.Header.Get(fsproto.TokenHeader))
+		var err error
+		sess, err = svc.session(r.Header.Get(fsproto.TokenHeader))
 		if err != nil {
-			svc.writeError(w, err)
+			status = svc.writeError(w, err)
 			return
 		}
 		v, err := h(sess, r)
 		if err != nil {
-			svc.writeError(w, err)
+			status = svc.writeError(w, err)
 			return
 		}
 		if pr, ok := v.(pooledResponse); ok {
@@ -125,13 +147,21 @@ func (svc *Service) endpoint(h handler) http.HandlerFunc {
 func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	svc.cReqs.Inc()
-	defer func() { svc.hReqNs.Observe(uint64(time.Since(start))) }()
+	tc := svc.traceContext(r)
+	w.Header().Set(fsproto.RequestIDHeader, fsproto.FormatRequestID(tc.TraceID))
+	status := http.StatusOK
+	var sess *Session
+	defer func() {
+		dur := time.Since(start)
+		svc.hReqNs.Observe(uint64(dur))
+		svc.noteRequest(sess, dur, status)
+	}()
 	var req fsproto.LoginRequest
 	if err := decode(r, &req); err != nil {
-		svc.writeError(w, err)
+		status = svc.writeError(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), svc.opts.RequestTimeout)
+	ctx, cancel := context.WithTimeout(WithTrace(r.Context(), tc), svc.opts.RequestTimeout)
 	defer cancel()
 	var seq uint64
 	if req.Seq != nil {
@@ -139,7 +169,7 @@ func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := svc.Login(ctx, req.Tenant, req.UID, req.Passphrase, seq)
 	if err != nil {
-		svc.writeError(w, err)
+		status = svc.writeError(w, err)
 		return
 	}
 	svc.writeJSON(w, http.StatusOK, fsproto.LoginResponse{

@@ -163,15 +163,18 @@ func (svc *Service) noteDenial(sh *Shard, sess *Session, tgt target, err error) 
 	svc.cXDenied.Inc()
 }
 
-// do wraps shard submission with the service's request timeout.
-func (svc *Service) do(ctx context.Context, sh *Shard, gid uint32, seq fsproto.Seq, fn func() (any, error)) (any, error) {
+// do wraps shard submission with the service's request timeout, naming the
+// request's root span and forwarding the trace context the HTTP layer put
+// into ctx.
+func (svc *Service) do(ctx context.Context, sh *Shard, gid uint32, seq fsproto.Seq, name string, fn func() (any, error)) (any, error) {
+	tc := TraceFromContext(ctx)
 	ctx, cancel := context.WithTimeout(ctx, svc.opts.RequestTimeout)
 	defer cancel()
 	var s uint64
 	if seq != nil {
 		s = *seq
 	}
-	return sh.Do(ctx, gid, s, fn)
+	return sh.DoTraced(ctx, gid, s, name, tc, fn)
 }
 
 // Create creates a file in the session tenant's own namespace.
@@ -180,7 +183,7 @@ func (svc *Service) Create(ctx context.Context, sess *Session, req fsproto.Creat
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
 	sh := svc.shardFor(sess.gid)
-	_, err := svc.do(ctx, sh, sess.gid, req.Seq, func() (any, error) {
+	_, err := svc.do(ctx, sh, sess.gid, req.Seq, "create", func() (any, error) {
 		p := sh.proc(sess)
 		_, err := sh.Sys.CreateFile(p, fullName(sess.tenant, req.Name),
 			fs.Mode(req.Perm), req.Size, req.Encrypted, pass(sess, req.Passphrase))
@@ -227,7 +230,7 @@ func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadReq
 	tgt := svc.resolve(sess, req.Tenant)
 	name := fullName(tgt.tenant, req.Name)
 	pl := newPayload(req.Length)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "read", func() (any, error) {
 		if err := tgt.sh.readInto(sess, name, pass(sess, req.Passphrase), req.Offset, pl.Data); err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)
 			return nil, err
@@ -250,7 +253,7 @@ func (svc *Service) Write(ctx context.Context, sess *Session, req fsproto.WriteR
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "write", func() (any, error) {
 		p := tgt.sh.proc(sess)
 		f, err := tgt.sh.Sys.OpenFile(p, fullName(tgt.tenant, req.Name), fs.WriteAccess, pass(sess, req.Passphrase))
 		if err != nil {
@@ -278,7 +281,7 @@ func (svc *Service) Chmod(ctx context.Context, sess *Session, req fsproto.ChmodR
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "chmod", func() (any, error) {
 		err := tgt.sh.Sys.Chmod(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name), fs.Mode(req.Perm))
 		if err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)
@@ -295,7 +298,7 @@ func (svc *Service) Delete(ctx context.Context, sess *Session, req fsproto.Delet
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "delete", func() (any, error) {
 		err := tgt.sh.Sys.Unlink(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name))
 		if err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)
@@ -339,7 +342,7 @@ func (svc *Service) KVCreate(ctx context.Context, sess *Session, req fsproto.KVC
 		return fmt.Errorf("%w: store and size required", ErrBadRequest)
 	}
 	sh := svc.shardFor(sess.gid)
-	_, err := svc.do(ctx, sh, sess.gid, req.Seq, func() (any, error) {
+	_, err := svc.do(ctx, sh, sess.gid, req.Seq, "kv_create", func() (any, error) {
 		p := sh.proc(sess)
 		full := kvName(sess.tenant, req.Store)
 		// 0660: group-shared within the tenant; the per-file key (from the
@@ -369,7 +372,7 @@ func (svc *Service) KVPut(ctx context.Context, sess *Session, req fsproto.KVPutR
 		return fmt.Errorf("%w: store required, value <= %d bytes", ErrBadRequest, maxKVValue)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "kv_put", func() (any, error) {
 		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
 		if err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)
@@ -388,7 +391,7 @@ func (svc *Service) KVGet(ctx context.Context, sess *Session, req fsproto.KVGetR
 	}
 	tgt := svc.resolve(sess, req.Tenant)
 	pl := newPayload(maxKVValue)
-	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "kv_get", func() (any, error) {
 		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.ReadAccess)
 		if err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)
@@ -411,7 +414,7 @@ func (svc *Service) KVDelete(ctx context.Context, sess *Session, req fsproto.KVD
 		return false, fmt.Errorf("%w: store required", ErrBadRequest)
 	}
 	tgt := svc.resolve(sess, req.Tenant)
-	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, func() (any, error) {
+	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "kv_delete", func() (any, error) {
 		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
 		if err != nil {
 			svc.noteDenial(tgt.sh, sess, tgt, err)

@@ -44,6 +44,12 @@ type Options struct {
 	PerTenantQueue int
 	// RequestTimeout bounds one request's queue+execute time (<= 0 default).
 	RequestTimeout time.Duration
+	// SLOLatency is the per-request wall-clock bound a "good" request must
+	// finish within (<= 0 uses DefaultSLOLatency).
+	SLOLatency time.Duration
+	// SLOObjective is the target good-request fraction feeding the
+	// burn-rate gauges (0 uses DefaultSLOObjective).
+	SLOObjective float64
 }
 
 // Session is one authenticated tenant session.
@@ -78,6 +84,12 @@ type Service struct {
 	cEncErrs  *telemetry.Counter
 	gJrnDrops *telemetry.Gauge
 
+	// slo is the per-tenant SLO table (slo.go); traceBase/traceSeq mint
+	// trace IDs for requests arriving without a client-sent context.
+	slo       *sloTable
+	traceBase uint64
+	traceSeq  atomic.Uint64
+
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	closed   bool
@@ -91,6 +103,12 @@ func New(opts Options) *Service {
 	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.SLOLatency <= 0 {
+		opts.SLOLatency = DefaultSLOLatency
+	}
+	if opts.SLOObjective <= 0 || opts.SLOObjective >= 1 {
+		opts.SLOObjective = DefaultSLOObjective
 	}
 	cfg := config.Default()
 	if opts.Cfg != nil {
@@ -108,6 +126,8 @@ func New(opts Options) *Service {
 		cBusy:     reg.Counter("server.busy_rejections_total"),
 		cEncErrs:  reg.Counter("server.response_encode_errors_total"),
 		gJrnDrops: reg.Gauge("journal.drops_total"),
+		slo:       newSLOTable(reg),
+		traceBase: 0x66_73_65_6e_63_72, // "fsencr": fixed, IDs still unique via traceSeq
 		sessions:  make(map[string]*Session),
 	}
 	for i := 0; i < opts.Shards; i++ {
@@ -138,7 +158,7 @@ func (svc *Service) Login(ctx context.Context, tenant string, uid uint32, passph
 	gid := fsproto.TenantGID(tenant)
 	euid := fsproto.UserUID(tenant, uid)
 	sh := svc.shardFor(gid)
-	_, err := sh.Do(ctx, gid, seq, func() (any, error) {
+	_, err := sh.DoTraced(ctx, gid, seq, "login", TraceFromContext(ctx), func() (any, error) {
 		registered, ok := sh.Sys.Keyring.Verify(euid, passphrase)
 		if registered && !ok {
 			sh.Jrn.Emit(journal.Event{
@@ -166,6 +186,9 @@ func (svc *Service) Login(ctx context.Context, tenant string, uid uint32, passph
 		pass:   passphrase,
 		st:     make([]*sessState, len(svc.shards)),
 	}
+	// Register the tenant on the SLO plane at first login so its gauges
+	// exist (at zero) before any op traffic.
+	svc.slo.tenant(tenant)
 	svc.mu.Lock()
 	defer svc.mu.Unlock()
 	if svc.closed {
@@ -212,6 +235,7 @@ func (svc *Service) MetricsSnapshot() *telemetry.Snapshot {
 	svc.gJrnDrops.Set(drops)
 	out := svc.reg.Snapshot()
 	out.Runs = 1
+	svc.injectSLOGauges(out)
 	for _, sh := range svc.shards {
 		out.Merge(sh.Snapshot())
 	}

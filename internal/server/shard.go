@@ -30,6 +30,7 @@ import (
 
 	"fsencr/internal/audit"
 	"fsencr/internal/config"
+	"fsencr/internal/fsproto"
 	"fsencr/internal/kernel"
 	"fsencr/internal/memctrl"
 	"fsencr/internal/obsplane/journal"
@@ -63,6 +64,14 @@ type task struct {
 	fn      func() (any, error)
 	resp    chan taskResult // buffered(1): the worker never blocks on it
 	release func()          // returns the per-tenant queue slot
+	// name labels the request's root span ("write", "kv_get", ...).
+	name string
+	// trace is the request's wire trace context (zero: untraced).
+	trace fsproto.TraceContext
+	// enq is the shard clock when the worker absorbed the task (fair mode
+	// only): the start of the measurable queue wait. Deterministic mode
+	// leaves it 0 — arrival interleaving is not schedule state there.
+	enq uint64
 }
 
 // sideTask is out-of-band worker work; done is closed after fn ran.
@@ -108,9 +117,21 @@ type Shard struct {
 	gDepth   *telemetry.Gauge
 	cServed  *telemetry.Counter
 
+	// Request-trace plane (worker-only, deterministic): scope buffers one
+	// request's spans until the tail sampler's keep/drop decision; the
+	// per-tenant histogram caches avoid registry map lookups per request.
+	scope   *telemetry.TraceScope
+	sampler *telemetry.TailSampler
+	hQWait  map[uint32]*telemetry.Histogram
+	hSvc    map[uint32]*telemetry.Histogram
+
 	stop    chan struct{}
 	stopped chan struct{}
 }
+
+// traceKeepEvery is the tail sampler's probabilistic keep rate for traces
+// that are neither errors nor slow-decile: 1 in traceKeepEvery.
+const traceKeepEvery = 8
 
 // NewShard boots a system for shard id and starts its worker.
 // deterministic selects the admission discipline; perTenant bounds the
@@ -123,6 +144,10 @@ func NewShard(id int, cfg config.Config, mode memctrl.Mode, access kernel.Access
 	}
 	sys := kernel.Boot(cfg, mode, access)
 	reg := telemetry.New()
+	// Attach the trace scope before Instrument: components cache the scope
+	// pointer at Instrument time and it must already be in place.
+	scope := telemetry.NewTraceScope()
+	reg.AttachTraceScope(scope)
 	sys.Instrument(reg)
 	jrn := journal.New(journal.DefaultCapacity)
 	sys.AttachJournal(jrn)
@@ -140,8 +165,13 @@ func NewShard(id int, cfg config.Config, mode memctrl.Mode, access kernel.Access
 		perTenant: perTenant,
 		gDepth:    serverReg.Gauge(fmt.Sprintf("server.shard%d.queue_depth", id)),
 		cServed:   serverReg.Counter(fmt.Sprintf("server.shard%d.served_total", id)),
-		stop:      make(chan struct{}),
-		stopped:   make(chan struct{}),
+		scope:     scope,
+		sampler: telemetry.NewTailSampler(traceKeepEvery,
+			reg.Counter("trace.kept_total"), reg.Counter("trace.dropped_total")),
+		hQWait:  make(map[uint32]*telemetry.Histogram),
+		hSvc:    make(map[uint32]*telemetry.Histogram),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
 	}
 	go sh.run()
 	return sh
@@ -173,6 +203,14 @@ func (sh *Shard) sem(tenant uint32) chan struct{} {
 // runs to completion (a simulated syscall cannot be cancelled midway), but
 // Do stops waiting when ctx expires.
 func (sh *Shard) Do(ctx context.Context, tenant uint32, seq uint64, fn func() (any, error)) (any, error) {
+	return sh.DoTraced(ctx, tenant, seq, "task", fsproto.TraceContext{}, fn)
+}
+
+// DoTraced is Do carrying a request-trace context and a root-span name:
+// while the task runs, spans recorded anywhere below the shard's system
+// (kernel, controller, PCM) are linked into the request's trace, and the
+// tail sampler decides at completion whether the trace is retained.
+func (sh *Shard) DoTraced(ctx context.Context, tenant uint32, seq uint64, name string, tc fsproto.TraceContext, fn func() (any, error)) (any, error) {
 	var release func()
 	if !sh.det {
 		// Fair mode: per-tenant admission slots. Deterministic mode skips
@@ -199,7 +237,7 @@ func (sh *Shard) Do(ctx context.Context, tenant uint32, seq uint64, fn func() (a
 	sh.mu.Unlock()
 	sh.gDepth.Set(uint64(sh.depth.Add(1)))
 
-	t := task{seq: seq, tenant: tenant, fn: fn, resp: make(chan taskResult, 1), release: release}
+	t := task{seq: seq, tenant: tenant, fn: fn, resp: make(chan taskResult, 1), release: release, name: name, trace: tc}
 	select {
 	case sh.ingress <- t:
 	case <-ctx.Done():
@@ -259,10 +297,51 @@ func (sh *Shard) taskDone(t task) {
 }
 
 func (sh *Shard) exec(t task) {
-	v, err := t.fn()
+	v, err := sh.serve(t)
 	t.resp <- taskResult{v: v, err: err}
 	sh.cServed.Inc()
 	sh.taskDone(t)
+}
+
+// tenantHist returns (caching) a per-tenant histogram handle. Worker-only.
+func tenantHist(cache map[uint32]*telemetry.Histogram, reg *telemetry.Registry, tenant uint32, metric string) *telemetry.Histogram {
+	h, ok := cache[tenant]
+	if !ok {
+		h = reg.Histogram(fmt.Sprintf("server.tenant.g%d.%s", tenant, metric))
+		cache[tenant] = h
+	}
+	return h
+}
+
+// serve runs one admitted task on the worker, separating queue wait from
+// service time and recording the request's trace. Everything observed here
+// derives from the shard's simulated clock, so the per-shard registry stays
+// a pure function of the schedule.
+func (sh *Shard) serve(t task) (any, error) {
+	start := uint64(sh.Sys.M.MaxCoreTime())
+	rootStart := start
+	var wait uint64
+	if t.enq != 0 && t.enq < start {
+		wait = start - t.enq
+		rootStart = t.enq
+	}
+	tenantHist(sh.hQWait, sh.Reg, t.tenant, "queue_wait_cycles").Observe(wait)
+	traced := t.trace.Sampled && t.trace.TraceID != 0
+	if traced {
+		sh.scope.Begin(t.trace.TraceID, t.trace.Parent)
+		sh.scope.Enter()
+		// The queue-wait phase precedes service; emit it as the root's
+		// first child so the waterfall separates waiting from doing.
+		sh.Reg.Span("request", "queue_wait", rootStart, start, 0)
+	}
+	v, err := t.fn()
+	end := uint64(sh.Sys.M.MaxCoreTime())
+	tenantHist(sh.hSvc, sh.Reg, t.tenant, "service_cycles").Observe(end - start)
+	if traced {
+		sh.scope.Exit("request", t.name, rootStart, end, 0)
+		sh.scope.End(sh.sampler.Keep(t.trace.TraceID, end-rootStart, err != nil))
+	}
+	return v, err
 }
 
 func (sh *Shard) run() {
@@ -308,6 +387,9 @@ func (sh *Shard) runFair() {
 	pending := 0
 	rr := 0
 	absorb := func(t task) {
+		// Stamp the queue-wait start on the worker, from the shard clock:
+		// wait is measured from absorption to service, in simulated cycles.
+		t.enq = uint64(sh.Sys.M.MaxCoreTime())
 		if _, ok := queues[t.tenant]; !ok {
 			order = append(order, t.tenant)
 		}

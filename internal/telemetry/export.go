@@ -118,6 +118,9 @@ type chromeEvent struct {
 	Dur  uint64 `json:"dur"`
 	Pid  int    `json:"pid"`
 	Tid  int    `json:"tid"`
+	// Args carries request-trace linkage (trace/span/parent IDs in hex)
+	// for spans recorded inside a TraceScope; absent otherwise.
+	Args map[string]string `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
@@ -135,10 +138,18 @@ func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
 		if dur == 0 {
 			dur = 1 // zero-width events vanish in the viewer
 		}
-		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+		ev := chromeEvent{
 			Name: sp.Name, Cat: sp.Cat, Ph: "X",
 			Ts: sp.Start, Dur: dur, Pid: 1, Tid: sp.Tid,
-		})
+		}
+		if sp.TraceID != 0 {
+			ev.Args = map[string]string{
+				"trace":  fmt.Sprintf("%016x", sp.TraceID),
+				"span":   fmt.Sprintf("%x", sp.SpanID),
+				"parent": fmt.Sprintf("%x", sp.ParentID),
+			}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
 	}
 	buf, err := json.MarshalIndent(tr, "", " ")
 	if err != nil {

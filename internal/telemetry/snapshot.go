@@ -20,6 +20,47 @@ func (h *HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by locating the bucket
+// holding the target rank and interpolating linearly within its value
+// range. Log2 buckets bound the relative error at 2x; the top occupied
+// bucket is additionally clamped by the recorded Max, which tightens the
+// common p99/p999 case. Returns 0 for an empty histogram or nil receiver.
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count-1)
+	var cum uint64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) > rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := float64(BucketBound(i))
+			if h.Max > 0 && float64(h.Max) < hi {
+				hi = float64(h.Max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return float64(h.Max)
+}
+
 // Snapshot is the frozen, mergeable state of one registry (or of a merged
 // set of registries). It is a plain value: JSON-marshalling it is
 // deterministic (encoding/json sorts map keys), which the harness relies

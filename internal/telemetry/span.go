@@ -17,6 +17,16 @@ type Span struct {
 	Dur uint64 `json:"dur"`
 	// Tid is the logical thread (simulated core) the span ran on.
 	Tid int `json:"tid"`
+
+	// TraceID groups the spans of one request (0 for spans recorded
+	// outside any request scope). SpanID identifies this span within the
+	// trace and ParentID links it to its enclosing span (0 for a trace
+	// root), so an exporter can reassemble the request's waterfall. All
+	// three are deterministic: trace IDs are minted from tenant identity
+	// plus a request counter, span IDs from a per-request counter.
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
 }
 
 // spanRing is a fixed-capacity overwrite-oldest span buffer. Recording
@@ -47,6 +57,17 @@ func (r *spanRing) record(sp Span) {
 		r.next = 0
 		r.wrapped = true
 	}
+	r.mu.Unlock()
+}
+
+// addDrops charges n externally-dropped spans (e.g. trace-scope buffer
+// overflow) to the ring's drop counter.
+func (r *spanRing) addDrops(n uint64) {
+	if n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.drops += n
 	r.mu.Unlock()
 }
 

@@ -146,6 +146,10 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    *spanRing
+	// scope, when attached, intercepts Span calls while a request trace
+	// is active (see TraceScope). Set once before components Instrument
+	// and never reassigned, so cached Scope() pointers stay valid.
+	scope *TraceScope
 }
 
 // New returns an empty registry with the default span capacity.
@@ -211,10 +215,34 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// AttachTraceScope binds a request-trace scope to the registry: while the
+// scope is active, Span calls are annotated with trace/span/parent IDs and
+// buffered in the scope for the tail-sampling decision instead of going
+// straight to the ring. Attach before components Instrument — they cache
+// the scope pointer (via Scope) once, and the pointer must stay stable.
+func (r *Registry) AttachTraceScope(ts *TraceScope) {
+	if r == nil || ts == nil {
+		return
+	}
+	ts.reg = r
+	r.scope = ts
+}
+
+// Scope returns the attached trace scope (nil when none — and a nil
+// *TraceScope is inert, so components cache it unconditionally).
+func (r *Registry) Scope() *TraceScope {
+	if r == nil {
+		return nil
+	}
+	return r.scope
+}
+
 // Span records one completed span. Cat groups spans into chrome://tracing
 // categories ("memctrl", "ott", "kernel", "kvstore", ...); start and end
 // are simulated cycles; tid is a logical thread (core) id. No-op on a nil
-// registry or when the ring is disabled.
+// registry or when the ring is disabled. While an attached trace scope is
+// active the span is routed through it — annotated with trace IDs and
+// buffered until the trace's keep/drop decision.
 func (r *Registry) Span(cat, name string, start, end uint64, tid int) {
 	if r == nil || r.spans == nil {
 		return
@@ -223,7 +251,12 @@ func (r *Registry) Span(cat, name string, start, end uint64, tid int) {
 	if end > start {
 		dur = end - start
 	}
-	r.spans.record(Span{Cat: cat, Name: name, Start: start, Dur: dur, Tid: tid})
+	sp := Span{Cat: cat, Name: name, Start: start, Dur: dur, Tid: tid}
+	if ts := r.scope; ts.Active() {
+		ts.child(sp)
+		return
+	}
+	r.spans.record(sp)
 }
 
 // Snapshot captures the registry's current state as a plain value suitable

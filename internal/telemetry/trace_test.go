@@ -1,0 +1,194 @@
+package telemetry
+
+import "testing"
+
+// TestNilTraceScopeIsInert pins the hot-path contract: a nil scope (the
+// uninstrumented configuration every component caches) answers false and
+// no-ops everywhere.
+func TestNilTraceScopeIsInert(t *testing.T) {
+	var ts *TraceScope
+	if ts.Active() {
+		t.Fatal("nil scope reports active")
+	}
+	ts.Begin(1, 0)
+	if id := ts.Enter(); id != 0 {
+		t.Fatalf("nil scope Enter returned %d", id)
+	}
+	ts.Exit("x", "y", 0, 1, 0)
+	ts.End(true)
+}
+
+// TestTraceScopeLinkage drives one trace through a registry and checks the
+// parent/child structure: the explicit Enter/Exit pair is the root, spans
+// recorded through Registry.Span while it is open are its children, and a
+// nested Enter/Exit hangs off the root with its own children.
+func TestTraceScopeLinkage(t *testing.T) {
+	reg := New()
+	ts := NewTraceScope()
+	reg.AttachTraceScope(ts)
+
+	ts.Begin(42, 0)
+	root := ts.Enter()
+	reg.Span("kernel", "leaf-under-root", 10, 20, 0)
+	inner := ts.Enter()
+	reg.Span("pcm", "leaf-under-inner", 12, 18, 0)
+	ts.Exit("memctrl", "inner", 11, 19, 0)
+	ts.Exit("request", "root", 10, 30, 0)
+	ts.End(true)
+
+	spans := reg.Snapshot().Spans
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	byName := make(map[string]Span)
+	ids := make(map[uint64]bool)
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		if sp.TraceID != 42 {
+			t.Errorf("span %q trace_id %d, want 42", sp.Name, sp.TraceID)
+		}
+		if sp.SpanID == 0 || ids[sp.SpanID] {
+			t.Errorf("span %q id %d not unique and nonzero", sp.Name, sp.SpanID)
+		}
+		ids[sp.SpanID] = true
+	}
+	if got := byName["root"]; got.SpanID != root || got.ParentID != 0 {
+		t.Errorf("root span = %+v, want id %d parent 0", got, root)
+	}
+	if got := byName["leaf-under-root"]; got.ParentID != root {
+		t.Errorf("leaf-under-root parent %d, want %d", got.ParentID, root)
+	}
+	if got := byName["inner"]; got.SpanID != inner || got.ParentID != root {
+		t.Errorf("inner span = %+v, want id %d parent %d", got, inner, root)
+	}
+	if got := byName["leaf-under-inner"]; got.ParentID != inner {
+		t.Errorf("leaf-under-inner parent %d, want %d", got.ParentID, inner)
+	}
+}
+
+// TestTraceScopeRemoteParent checks that a nonzero Begin parent becomes the
+// local root's ParentID — the cross-process link a client span ID rides in
+// on — and that End(keep=false) discards the buffer.
+func TestTraceScopeRemoteParent(t *testing.T) {
+	reg := New()
+	ts := NewTraceScope()
+	reg.AttachTraceScope(ts)
+
+	ts.Begin(7, 99)
+	ts.Enter()
+	ts.Exit("request", "root", 0, 5, 0)
+	ts.End(true)
+	spans := reg.Snapshot().Spans
+	if len(spans) != 1 || spans[0].ParentID != 99 {
+		t.Fatalf("remote-parent root = %+v, want ParentID 99", spans)
+	}
+
+	ts.Begin(8, 0)
+	ts.Enter()
+	reg.Span("kernel", "dropped", 0, 1, 0)
+	ts.Exit("request", "dropped-root", 0, 2, 0)
+	ts.End(false)
+	if got := len(reg.Snapshot().Spans); got != 1 {
+		t.Fatalf("discarded trace leaked spans into the ring: %d retained", got)
+	}
+}
+
+// TestTraceScopeOverflowCountsDrops pins the no-silent-truncation rule: a
+// trace recording more spans than the scope buffers surfaces the excess in
+// the snapshot's SpanDrops.
+func TestTraceScopeOverflowCountsDrops(t *testing.T) {
+	reg := New()
+	ts := NewTraceScope()
+	reg.AttachTraceScope(ts)
+
+	ts.Begin(3, 0)
+	ts.Enter()
+	for i := 0; i < DefaultSpanCapacity+10; i++ {
+		reg.Span("kernel", "leaf", uint64(i), uint64(i+1), 0)
+	}
+	ts.Exit("request", "root", 0, 1, 0)
+	ts.End(true)
+	snap := reg.Snapshot()
+	if snap.SpanDrops < 10 {
+		t.Fatalf("span drops %d, want >= 10 (buffer overflow must be counted)", snap.SpanDrops)
+	}
+}
+
+// TestTailSamplerProperties drives the sampler with a deterministic
+// pseudo-random workload and pins its two invariants: error traces are
+// never dropped, and every decision lands in exactly one of the kept or
+// dropped counters (kept + dropped == total).
+func TestTailSamplerProperties(t *testing.T) {
+	reg := New()
+	kept := reg.Counter("trace.kept_total")
+	dropped := reg.Counter("trace.dropped_total")
+	s := NewTailSampler(8, kept, dropped)
+
+	const n = 10000
+	rng := uint64(0x2545F4914F6CDD1D)
+	var erred, keptErrs uint64
+	for i := 0; i < n; i++ {
+		rng = mix64(rng + uint64(i))
+		dur := rng % (1 << (rng % 24)) // spread across many log2 buckets
+		isErr := rng%37 == 0
+		keep := s.Keep(MintTraceID(rng, uint64(i)), dur, isErr)
+		if isErr {
+			erred++
+			if !keep {
+				t.Fatalf("error trace %d dropped (dur %d)", i, dur)
+			}
+			keptErrs++
+		}
+	}
+	if erred == 0 {
+		t.Fatal("workload produced no error traces; invariant untested")
+	}
+	if got := kept.Value() + dropped.Value(); got != n {
+		t.Fatalf("kept %d + dropped %d = %d, want %d (every decision must be counted)",
+			kept.Value(), dropped.Value(), got, n)
+	}
+	if dropped.Value() == 0 {
+		t.Fatal("sampler dropped nothing at keepEvery=8; probabilistic path untested")
+	}
+	if kept.Value() < keptErrs {
+		t.Fatalf("kept %d < error traces %d", kept.Value(), keptErrs)
+	}
+}
+
+// TestTailSamplerKeepsSlowDecile checks the latency-tail guarantee: after a
+// steady diet of fast traces, a much slower one is retained even when its
+// trace ID hashes to "drop".
+func TestTailSamplerKeepsSlowDecile(t *testing.T) {
+	s := NewTailSampler(1<<60, nil, nil) // probabilistic path ~never keeps
+	for i := 0; i < 1000; i++ {
+		s.Keep(uint64(i+1), 100, false)
+	}
+	if !s.Keep(12345, 1<<40, false) {
+		t.Fatal("slowest-decile trace was dropped")
+	}
+	// And the fast majority is not retained by the decile rule.
+	if s.Keep(54321, 100, false) {
+		t.Fatal("fast trace kept despite drop-everything sampler; decile rule too loose")
+	}
+}
+
+// TestMintTraceIDDeterministicNonzero pins the client-side ID contract.
+func TestMintTraceIDDeterministicNonzero(t *testing.T) {
+	if MintTraceID(1, 2) != MintTraceID(1, 2) {
+		t.Fatal("MintTraceID not deterministic")
+	}
+	if MintTraceID(1, 2) == MintTraceID(1, 3) {
+		t.Fatal("adjacent requests collided")
+	}
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 4096; i++ {
+		id := MintTraceID(0, i)
+		if id == 0 {
+			t.Fatal("zero trace ID minted")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID at n=%d", i)
+		}
+		seen[id] = true
+	}
+}
