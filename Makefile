@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race malice-race slo-smoke chaos chaos-ci ci
+.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race malice-race slo-smoke chaos chaos-ci migration-chaos cluster-smoke cluster-smoke-race ci
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,27 @@ chaos:
 # Bounded chaos campaign for the CI gate (same kinds, smaller budget).
 chaos-ci:
 	$(GO) run ./cmd/fsencr-chaos -seed 1 -faults 150
+
+# Cluster fault campaign: kill the migration source or target at every
+# persist point of a live shard migration; every crash point must either
+# complete or roll back cleanly — one live owner, no lost acknowledged
+# data, no split-brain epoch.
+migration-chaos:
+	$(GO) run ./cmd/fsencr-chaos -campaign node-crash-during-migration
+
+# Cluster-smoke: the in-process 3-node fabric — concurrent cluster-routed
+# load across a live shard migration (zero lost or duplicated ops, stale
+# owners forward or 421), a >= 10k-op admission log replayed onto two
+# replicas with zero divergence, and a replica failover after the owner
+# dies with every acknowledged write intact. The migration-crash campaign
+# rides along.
+cluster-smoke:
+	$(GO) test -run 'TestJoinPlacesFirstNode|TestMigrationUnderLoad|TestReplicationAndFailover|TestReplicaTenKOps' -count 1 -v ./internal/cluster
+	$(GO) test -run 'TestMigrationCrashCampaign' -count 1 -v ./internal/chaos
+
+cluster-smoke-race:
+	$(GO) test -race -run 'TestJoinPlacesFirstNode|TestMigrationUnderLoad|TestReplicationAndFailover|TestReplicaTenKOps' -count 1 ./internal/cluster
+	$(GO) test -race -run 'TestMigrationCrashCampaign' -count 1 ./internal/chaos
 
 vet:
 	$(GO) vet ./...
@@ -111,4 +132,4 @@ bench-check:
 overhead-guard:
 	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard|TestPageGapGuard|TestAuditOverheadGuard|TestTraceOverheadGuard' -v ./internal/memctrl
 
-ci: build vet test smoke race malice-race slo-smoke chaos-ci overhead-guard bench-check
+ci: build vet test smoke race malice-race slo-smoke chaos-ci cluster-smoke cluster-smoke-race migration-chaos overhead-guard bench-check

@@ -8,6 +8,10 @@
 //	fsencr-chaos -seed 42 -faults 5000      # bigger sweep, different seed
 //	fsencr-chaos -campaign data,torn        # subset of fault kinds
 //	fsencr-chaos -json chaos.json           # machine-readable result
+//	fsencr-chaos -campaign node-crash-during-migration
+//	                                        # cluster fabric: kill the
+//	                                        # source/target at every
+//	                                        # migration persist point
 //
 // The same seed reruns byte-identically, so a failing campaign is a
 // reproducible bug report: re-run with the printed seed to triage.
@@ -26,9 +30,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign RNG seed (same seed, same result bytes)")
 	faults := flag.Int("faults", 1000, "target number of injected faults")
 	campaign := flag.String("campaign", "all",
-		"fault kinds: all, or comma-separated of metadata,data,torn,ott,wrap,audit,crash")
+		"fault kinds: all, comma-separated of metadata,data,torn,ott,wrap,audit,crash, or "+
+			chaos.CampaignMigrationCrash)
 	jsonOut := flag.String("json", "", "also write the result JSON to this file")
 	flag.Parse()
+
+	if *campaign == chaos.CampaignMigrationCrash {
+		migrationCrashMain(*jsonOut)
+		return
+	}
 
 	res, err := chaos.Run(chaos.Options{Seed: *seed, Faults: *faults, Campaign: *campaign})
 	if err != nil {
@@ -49,6 +59,32 @@ func main() {
 	}
 	if !res.Clean() {
 		fmt.Fprintln(os.Stderr, "fsencr-chaos: UNDETECTED CORRUPTION — campaign failed")
+		os.Exit(1)
+	}
+}
+
+// migrationCrashMain runs the cluster-level crash campaign and exits
+// nonzero on any contract violation.
+func migrationCrashMain(jsonOut string) {
+	res, err := chaos.RunMigrationCrash()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsencr-chaos:", err)
+		os.Exit(2)
+	}
+	fmt.Print(res.String())
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsencr-chaos:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0644); err != nil {
+			fmt.Fprintln(os.Stderr, "fsencr-chaos:", err)
+			os.Exit(2)
+		}
+	}
+	if !res.Clean() {
+		fmt.Fprintln(os.Stderr, "fsencr-chaos: MIGRATION CONTRACT VIOLATION — campaign failed")
 		os.Exit(1)
 	}
 }

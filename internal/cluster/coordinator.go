@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fsencr/internal/fsproto"
+)
+
+// Migration persist points, in order. The coordinator calls its StepHook
+// (when set) after each one — the chaos campaign kills the source or the
+// target node exactly there and asserts the fabric either completes the
+// migration or rolls it back cleanly, with no split-brain.
+const (
+	StepAfterFreeze  = "after-freeze"
+	StepAfterExport  = "after-export"
+	StepAfterInstall = "after-install"
+	StepAfterCommit  = "after-commit"
+)
+
+// MigrationSteps lists the persist points in order (chaos campaigns
+// iterate them).
+var MigrationSteps = []string{StepAfterFreeze, StepAfterExport, StepAfterInstall, StepAfterCommit}
+
+// Coordinator owns the placement table and orchestrates ownership
+// changes. One per cluster; nodes join it, clients fetch routes from it.
+type Coordinator struct {
+	nShards int
+	hc      *http.Client
+
+	// StepHook, when set, runs after each migration persist point with the
+	// step name and the migrating shard. Chaos tests use it to kill nodes
+	// mid-migration; it must be set before any Migrate call.
+	StepHook func(step string, shard int)
+
+	mu      sync.Mutex
+	table   fsproto.ClusterTable
+	members []string
+}
+
+// NewCoordinator creates the routing authority for a fixed global shard
+// count (the ShardIndex modulus; it never changes for the cluster's life).
+func NewCoordinator(nShards int) *Coordinator {
+	return &Coordinator{
+		nShards: nShards,
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		table: fsproto.ClusterTable{
+			NShards:    nShards,
+			Placements: make([]fsproto.Placement, nShards),
+		},
+	}
+}
+
+// Mux returns the coordinator's route set.
+func (c *Coordinator) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/join", c.handleJoin)
+	mux.HandleFunc("/cluster/table", c.handleTable)
+	mux.HandleFunc("/cluster/migrate", c.handleMigrate)
+	mux.HandleFunc("/cluster/replicate", c.handleReplicate)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { writeJSON(w, struct{}{}) })
+	return mux
+}
+
+// Table returns a copy of the current placement table.
+func (c *Coordinator) Table() fsproto.ClusterTable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Coordinator) snapshotLocked() fsproto.ClusterTable {
+	t := c.table
+	t.Placements = make([]fsproto.Placement, len(c.table.Placements))
+	copy(t.Placements, c.table.Placements)
+	for i := range t.Placements {
+		t.Placements[i].Replicas = append([]string(nil), c.table.Placements[i].Replicas...)
+	}
+	return t
+}
+
+type joinReq struct {
+	Node string `json:"node"`
+	// Empty marks a joiner that booted owning no shards (it receives them
+	// by migration) — it can never seed the placement table.
+	Empty bool `json:"empty"`
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinReq
+	if err := jsonDecode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := c.Join(req.Node, req.Empty)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, t)
+}
+
+func (c *Coordinator) handleTable(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Table())
+}
+
+type migrateReq struct {
+	Shard int    `json:"shard"`
+	To    string `json:"to"`
+}
+
+func (c *Coordinator) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req migrateReq
+	if err := jsonDecode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := c.Migrate(req.Shard, req.To); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, c.Table())
+}
+
+type replicateReq struct {
+	Shard int    `json:"shard"`
+	On    string `json:"on"`
+}
+
+func (c *Coordinator) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req replicateReq
+	if err := jsonDecode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := c.Replicate(req.Shard, req.On); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, c.Table())
+}
+
+// Join admits a node. The first non-empty joiner (which boots owning
+// every shard, the default server configuration) seeds the placement
+// table as the owner of all of them at epoch 1; empty joiners (booted
+// with OwnedShards: [], -empty on the CLI) are members only and receive
+// shards by migration. A second non-empty joiner is refused — two nodes
+// that both locally own every shard is split-brain by construction —
+// unless the table already places shards on it (a rejoin after restart).
+// The new table is pushed to every member and returned.
+func (c *Coordinator) Join(node string, empty bool) (fsproto.ClusterTable, error) {
+	if node == "" {
+		return fsproto.ClusterTable{}, fmt.Errorf("cluster: join needs a node base URL")
+	}
+	c.mu.Lock()
+	if !empty && c.table.Epoch > 0 {
+		rejoin := false
+		for _, p := range c.table.Placements {
+			if p.Node == node {
+				rejoin = true
+			}
+		}
+		if !rejoin {
+			c.mu.Unlock()
+			return fsproto.ClusterTable{}, fmt.Errorf(
+				"cluster: placement already seeded; boot %s with no owned shards (-empty)", node)
+		}
+	}
+	dup := false
+	for _, m := range c.members {
+		if m == node {
+			dup = true
+		}
+	}
+	if !dup {
+		c.members = append(c.members, node)
+	}
+	if !empty && c.table.Epoch == 0 {
+		c.table.Epoch = 1
+		for i := range c.table.Placements {
+			c.table.Placements[i] = fsproto.Placement{Shard: i, Node: node, Epoch: 1}
+		}
+	}
+	t := c.snapshotLocked()
+	c.mu.Unlock()
+	c.push(t)
+	return t, nil
+}
+
+// push sends the table to every member (best effort: a member that just
+// died learns the epoch when it rejoins).
+func (c *Coordinator) push(t fsproto.ClusterTable) {
+	c.mu.Lock()
+	members := append([]string(nil), c.members...)
+	c.mu.Unlock()
+	for _, m := range members {
+		_ = postJSON(c.hc, m+"/fabric/table", t, nil)
+	}
+}
+
+func (c *Coordinator) step(name string, shard int) {
+	if c.StepHook != nil {
+		c.StepHook(name, shard)
+	}
+}
+
+// owner returns the current owner of shard.
+func (c *Coordinator) owner(shard int) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.table.Placements) {
+		return "", fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, len(c.table.Placements))
+	}
+	p := c.table.Placements[shard]
+	if p.Epoch == 0 || p.Node == "" {
+		return "", fmt.Errorf("cluster: shard %d is unplaced", shard)
+	}
+	return p.Node, nil
+}
+
+// Migrate moves shard live from its current owner to node `to`:
+// freeze -> export -> install -> commit, with the new epoch published
+// only after the target proved the replayed state (Merkle root + full
+// image equality + the Osiris recovery gate, enforced by InstallShard).
+//
+// Failure handling keeps exactly one serving owner at every point:
+//
+//   - failure before install: roll back — resume the source, table
+//     unchanged.
+//   - target dead at install, or unhealthy before commit: roll back.
+//   - source dead after a successful install: complete the migration (a
+//     dead source cannot serve, so cutover loses nothing and
+//     split-brain is impossible).
+func (c *Coordinator) Migrate(shard int, to string) error {
+	src, err := c.owner(shard)
+	if err != nil {
+		return err
+	}
+	if src == to {
+		return fmt.Errorf("cluster: shard %d already lives on %s", shard, to)
+	}
+	if err := postJSON(c.hc, src+"/fabric/freeze", shardReq{Shard: shard}, nil); err != nil {
+		return fmt.Errorf("freeze on %s: %w", src, err)
+	}
+	c.step(StepAfterFreeze, shard)
+
+	state, err := postRaw(c.hc, src+"/fabric/export", mustJSON(shardReq{Shard: shard}))
+	if err != nil {
+		// The source died (or failed) holding the freeze; nothing was
+		// installed anywhere, so the table stays put. If the source is
+		// alive, release the hold.
+		_ = postJSON(c.hc, src+"/fabric/resume", shardReq{Shard: shard}, nil)
+		return fmt.Errorf("export on %s: %w", src, err)
+	}
+	c.step(StepAfterExport, shard)
+
+	if _, err := postRaw(c.hc, to+"/fabric/install", state); err != nil {
+		_ = postJSON(c.hc, src+"/fabric/resume", shardReq{Shard: shard}, nil)
+		return fmt.Errorf("install on %s: %w", to, err)
+	}
+	c.step(StepAfterInstall, shard)
+
+	// Point of no return is the table bump; require a live, installed
+	// target first. If the target died right after installing, roll back.
+	if !healthy(c.hc, to) {
+		_ = postJSON(c.hc, src+"/fabric/resume", shardReq{Shard: shard}, nil)
+		_ = postJSON(c.hc, to+"/fabric/discard", shardReq{Shard: shard}, nil)
+		return fmt.Errorf("cluster: target %s unhealthy after install; rolled back", to)
+	}
+
+	c.mu.Lock()
+	c.table.Epoch++
+	epoch := c.table.Epoch
+	c.table.Placements[shard] = fsproto.Placement{Shard: shard, Node: to, Epoch: epoch,
+		Replicas: c.table.Placements[shard].Replicas}
+	t := c.snapshotLocked()
+	c.mu.Unlock()
+
+	// Retire the source. A dead source is fine — it cannot serve, so the
+	// cutover is safe regardless; the error is recorded in the returned
+	// table push semantics, not fatal.
+	_ = postJSON(c.hc, src+"/fabric/commit", shardReq{Shard: shard, Epoch: epoch}, nil)
+	c.push(t)
+	c.step(StepAfterCommit, shard)
+	return nil
+}
+
+// Replicate starts an admission-log replica of shard on node `on` and
+// records it in the table.
+func (c *Coordinator) Replicate(shard int, on string) error {
+	src, err := c.owner(shard)
+	if err != nil {
+		return err
+	}
+	if src == on {
+		return fmt.Errorf("cluster: %s already owns shard %d", on, shard)
+	}
+	if err := postJSON(c.hc, on+"/fabric/replica/start", shardReq{Shard: shard, Source: src}, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	p := &c.table.Placements[shard]
+	has := false
+	for _, r := range p.Replicas {
+		if r == on {
+			has = true
+		}
+	}
+	if !has {
+		p.Replicas = append(p.Replicas, on)
+	}
+	t := c.snapshotLocked()
+	c.mu.Unlock()
+	c.push(t)
+	return nil
+}
+
+// Failover promotes a replica of shard to owner — the recovery path when
+// the owner died. The first healthy replica wins; the table bumps to a
+// new epoch and is pushed to the surviving members.
+func (c *Coordinator) Failover(shard int) error {
+	c.mu.Lock()
+	if shard < 0 || shard >= len(c.table.Placements) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: shard %d out of range", shard)
+	}
+	p := c.table.Placements[shard]
+	c.mu.Unlock()
+	if healthy(c.hc, p.Node) {
+		return fmt.Errorf("cluster: owner %s of shard %d is alive; failover refused", p.Node, shard)
+	}
+	for _, rep := range p.Replicas {
+		if !healthy(c.hc, rep) {
+			continue
+		}
+		c.mu.Lock()
+		c.table.Epoch++
+		epoch := c.table.Epoch
+		c.mu.Unlock()
+		if err := postJSON(c.hc, rep+"/fabric/replica/promote", shardReq{Shard: shard, Epoch: epoch}, nil); err != nil {
+			return fmt.Errorf("promote on %s: %w", rep, err)
+		}
+		c.mu.Lock()
+		reps := make([]string, 0, len(p.Replicas))
+		for _, r := range p.Replicas {
+			if r != rep {
+				reps = append(reps, r)
+			}
+		}
+		c.table.Placements[shard] = fsproto.Placement{Shard: shard, Node: rep, Epoch: epoch, Replicas: reps}
+		t := c.snapshotLocked()
+		c.mu.Unlock()
+		c.push(t)
+		return nil
+	}
+	return fmt.Errorf("cluster: shard %d has no healthy replica to promote", shard)
+}
+
+// CheckOwners pings every owner once and fails over shards whose owner is
+// dead and which have a replica. Returns the shards failed over. Callers
+// run it from their own health-check cadence.
+func (c *Coordinator) CheckOwners() []int {
+	t := c.Table()
+	var moved []int
+	for _, p := range t.Placements {
+		if p.Epoch == 0 || healthy(c.hc, p.Node) || len(p.Replicas) == 0 {
+			continue
+		}
+		if err := c.Failover(p.Shard); err == nil {
+			moved = append(moved, p.Shard)
+		}
+	}
+	return moved
+}

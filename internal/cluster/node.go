@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fsencr/internal/fsproto"
+	"fsencr/internal/server"
+)
+
+// Node wraps one fsencrd service with the fabric endpoints the
+// coordinator drives. The node's /v1 surface is unchanged; /fabric/* is
+// the control plane: migration source verbs (freeze, export, resume,
+// commit), target verbs (install, discard), the replication pull surface,
+// replica management, and placement-table pushes.
+type Node struct {
+	svc  *server.Service
+	base string
+
+	mu    sync.Mutex
+	migs  map[int]*server.Migration
+	reps  map[int]*Replica
+	table fsproto.ClusterTable
+}
+
+// NewNode wraps svc. Call SetBase once the listener address is known —
+// the forwarder needs it to avoid proxying to itself.
+func NewNode(svc *server.Service) *Node {
+	return &Node{svc: svc, migs: make(map[int]*server.Migration), reps: make(map[int]*Replica)}
+}
+
+// SetBase records this node's advertised base URL.
+func (n *Node) SetBase(base string) {
+	n.mu.Lock()
+	n.base = base
+	n.mu.Unlock()
+}
+
+// Base returns the advertised base URL.
+func (n *Node) Base() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.base
+}
+
+// Service exposes the wrapped service.
+func (n *Node) Service() *server.Service { return n.svc }
+
+// Close stops replica pull loops and drains the service.
+func (n *Node) Close() {
+	n.mu.Lock()
+	reps := make([]*Replica, 0, len(n.reps))
+	for _, r := range n.reps {
+		reps = append(reps, r)
+	}
+	n.reps = make(map[int]*Replica)
+	n.mu.Unlock()
+	for _, r := range reps {
+		r.Stop()
+	}
+	n.svc.Close()
+}
+
+// Mux returns the node's full route set: the service's API and
+// observability surfaces plus the cluster fabric.
+func (n *Node) Mux() *http.ServeMux {
+	mux := n.svc.Mux()
+	mux.HandleFunc("/fabric/freeze", n.handleFreeze)
+	mux.HandleFunc("/fabric/export", n.handleExport)
+	mux.HandleFunc("/fabric/resume", n.handleResume)
+	mux.HandleFunc("/fabric/commit", n.handleCommit)
+	mux.HandleFunc("/fabric/install", n.handleInstall)
+	mux.HandleFunc("/fabric/discard", n.handleDiscard)
+	mux.HandleFunc("/fabric/pull", n.handlePull)
+	mux.HandleFunc("/fabric/loglen", n.handleLogLen)
+	mux.HandleFunc("/fabric/replica/start", n.handleReplicaStart)
+	mux.HandleFunc("/fabric/replica/promote", n.handleReplicaPromote)
+	mux.HandleFunc("/fabric/replica/status", n.handleReplicaStatus)
+	mux.HandleFunc("/fabric/table", n.handleTable)
+	return mux
+}
+
+func decodeReq(r *http.Request, req *shardReq) error {
+	return jsonDecode(r, req)
+}
+
+func jsonDecode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+// handleFreeze quiesces a shard for migration and parks the hold.
+func (n *Node) handleFreeze(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	if _, held := n.migs[req.Shard]; held {
+		n.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("shard %d already frozen", req.Shard))
+		return
+	}
+	n.mu.Unlock()
+	mig, err := n.svc.FreezeShard(r.Context(), req.Shard)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	n.mu.Lock()
+	n.migs[req.Shard] = mig
+	n.mu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+func (n *Node) takeMig(shard int) *server.Migration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.migs[shard]
+	delete(n.migs, shard)
+	return m
+}
+
+func (n *Node) peekMig(shard int) *server.Migration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.migs[shard]
+}
+
+// handleExport ships the frozen shard's state as gob.
+func (n *Node) handleExport(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mig := n.peekMig(req.Shard)
+	if mig == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("shard %d is not frozen", req.Shard))
+		return
+	}
+	st, err := mig.Export()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf.Bytes())
+}
+
+// handleResume rolls a migration back: the hold releases, the worker
+// serves the queued backlog as if nothing happened.
+func (n *Node) handleResume(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if mig := n.takeMig(req.Shard); mig != nil {
+		mig.Resume()
+	}
+	writeJSON(w, struct{}{})
+}
+
+// handleCommit finishes a migration on the source: the shard retires at
+// the new epoch and queued requests answer with the routing error.
+func (n *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mig := n.takeMig(req.Shard)
+	if mig == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("shard %d is not frozen", req.Shard))
+		return
+	}
+	mig.Commit(req.Epoch)
+	writeJSON(w, struct{}{})
+}
+
+// handleInstall rehydrates a migrated shard from its gob state.
+func (n *Node) handleInstall(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	var st server.ShardState
+	if err := gob.NewDecoder(r.Body).Decode(&st); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := n.svc.InstallShard(&st); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// handleDiscard drops an installed-but-uncommitted shard (rollback on the
+// target).
+func (n *Node) handleDiscard(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.svc.DropShard(req.Shard)
+	writeJSON(w, struct{}{})
+}
+
+// handlePull ships admission-log records from a position onward (gob) —
+// the replication stream.
+func (n *Node) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	recs, err := n.svc.RecordsFrom(r.Context(), req.Shard, req.From)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf.Bytes())
+}
+
+// handleLogLen reports a shard's admission-log length.
+func (n *Node) handleLogLen(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ln, err := n.svc.LogLen(r.Context(), req.Shard)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"len": ln})
+}
+
+// handleReplicaStart begins replicating a shard from its primary.
+func (n *Node) handleReplicaStart(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := n.StartReplica(req.Shard, req.Source); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// handleReplicaPromote turns a clean replica into the serving owner.
+func (n *Node) handleReplicaPromote(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := n.PromoteReplica(req.Shard, req.Epoch); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// ReplicaStatus is the replica sync report.
+type ReplicaStatus struct {
+	Shard  int    `json:"shard"`
+	Pulled uint64 `json:"pulled"`
+	Err    string `json:"err,omitempty"`
+}
+
+// handleReplicaStatus reports a replica's sync position and health.
+func (n *Node) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
+	var req shardReq
+	if err := decodeReq(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	rep := n.reps[req.Shard]
+	n.mu.Unlock()
+	if rep == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no replica of shard %d here", req.Shard))
+		return
+	}
+	writeJSON(w, rep.Status())
+}
+
+// handleTable applies a coordinator table push: the node publishes the
+// new epoch and forwards misrouted requests one hop to current owners.
+func (n *Node) handleTable(w http.ResponseWriter, r *http.Request) {
+	var t fsproto.ClusterTable
+	if err := jsonDecode(r, &t); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n.ApplyTable(t)
+	writeJSON(w, struct{}{})
+}
+
+// ApplyTable installs a placement table: newer epochs only.
+func (n *Node) ApplyTable(t fsproto.ClusterTable) {
+	n.mu.Lock()
+	if t.Epoch < n.table.Epoch {
+		n.mu.Unlock()
+		return
+	}
+	n.table = t
+	n.mu.Unlock()
+	n.svc.SetClusterEpoch(t.Epoch)
+	n.svc.SetForwarder(func(shard int) (string, bool) {
+		n.mu.Lock()
+		owner, ok := n.table.Owner(shard)
+		base := n.base
+		n.mu.Unlock()
+		if !ok || owner == base {
+			return "", false
+		}
+		return owner, true
+	})
+}
+
+// Table returns the node's current placement table.
+func (n *Node) Table() fsproto.ClusterTable {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table
+}
+
+// StartReplica boots a detached replica shard replaying the primary at
+// source and starts its pull loop.
+func (n *Node) StartReplica(shard int, source string) (*Replica, error) {
+	n.mu.Lock()
+	if _, dup := n.reps[shard]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("cluster: already replicating shard %d", shard)
+	}
+	n.mu.Unlock()
+	rep, err := NewReplica(n.svc, shard, source)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.reps[shard] = rep
+	n.mu.Unlock()
+	rep.Start(2 * time.Millisecond)
+	return rep, nil
+}
+
+// Replica returns the node's replica of shard, if any.
+func (n *Node) Replica(shard int) *Replica {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reps[shard]
+}
+
+// PromoteReplica stops the pull loop and adopts the replica as owner at
+// the given epoch.
+func (n *Node) PromoteReplica(shard int, epoch uint64) error {
+	n.mu.Lock()
+	rep := n.reps[shard]
+	delete(n.reps, shard)
+	n.mu.Unlock()
+	if rep == nil {
+		return fmt.Errorf("cluster: no replica of shard %d here", shard)
+	}
+	if err := rep.Promote(); err != nil {
+		return err
+	}
+	n.svc.SetClusterEpoch(epoch)
+	return nil
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fsencr/internal/fsproto"
+	"fsencr/internal/obsplane/journal"
+	"fsencr/internal/server"
+)
+
+// Replica replays a primary shard's admission log into a detached local
+// shard. The shard is booted with the primary's chip sequence, so replay
+// reproduces ciphertext, counters and the Merkle tree exactly; every
+// checkpoint record in the pulled stream carries the primary's root at
+// that log position, and a mismatch stops the replica cold
+// (journal.ReplicaDiverged) rather than letting a divergent copy be
+// promoted later.
+//
+// Exactly one goroutine — the pull loop, or after Stop the caller —
+// touches the detached shard.
+type Replica struct {
+	svc    *server.Service
+	sh     *server.Shard
+	shard  int
+	source string
+	hc     *http.Client
+
+	stop chan struct{}
+	done chan struct{}
+	kick chan chan error
+
+	mu     sync.Mutex
+	pulled uint64
+	err    error
+}
+
+// NewReplica boots the detached replica shard. The primary's discipline
+// and chip sequence are derived from the local service options — the
+// fabric requires every node to run the same shard-count/chip-base
+// configuration.
+func NewReplica(svc *server.Service, shard int, source string) (*Replica, error) {
+	if source == "" {
+		return nil, fmt.Errorf("cluster: replica of shard %d needs a source", shard)
+	}
+	sh := svc.NewReplicaShard(shard, svc.ChipSeqFor(shard), false)
+	return &Replica{
+		svc:    svc,
+		sh:     sh,
+		shard:  shard,
+		source: source,
+		hc:     &http.Client{Timeout: 10 * time.Second},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		kick:   make(chan chan error),
+	}, nil
+}
+
+// Start launches the pull loop at the given polling interval.
+func (r *Replica) Start(interval time.Duration) {
+	go r.loop(interval)
+}
+
+func (r *Replica) loop(interval time.Duration) {
+	defer close(r.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			if err := r.pullOnce(); err != nil && !transient(err) {
+				r.mu.Lock()
+				r.err = err
+				r.mu.Unlock()
+				return
+			}
+		case ch := <-r.kick:
+			err := r.pullOnce()
+			if err != nil && !transient(err) {
+				r.mu.Lock()
+				r.err = err
+				r.mu.Unlock()
+				ch <- err
+				return
+			}
+			ch <- err
+		}
+	}
+}
+
+// transient reports errors worth retrying on the next tick (the primary
+// briefly unreachable) as opposed to divergence, which is terminal.
+func transient(err error) bool {
+	return !errors.Is(err, server.ErrDiverged)
+}
+
+// pullOnce fetches records past the replica's position and replays them.
+func (r *Replica) pullOnce() error {
+	r.mu.Lock()
+	from := r.pulled
+	r.mu.Unlock()
+	body, err := postRaw(r.hc, r.source+"/fabric/pull", mustJSON(shardReq{Shard: r.shard, From: from}))
+	if err != nil {
+		return err
+	}
+	var recs []fsproto.LogRecord
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&recs); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := r.svc.ReplayRecords(r.sh, recs); err != nil {
+		if errors.Is(err, server.ErrDiverged) {
+			r.sh.Jrn.Emit(journal.Event{
+				Cycle:  uint64(r.sh.Sys.M.MaxCoreTime()),
+				Type:   journal.ReplicaDiverged,
+				Detail: fmt.Sprintf("shard %d replica diverged from %s: %v", r.shard, r.source, err),
+			})
+		}
+		return err
+	}
+	r.mu.Lock()
+	r.pulled = from + uint64(len(recs))
+	r.mu.Unlock()
+	return nil
+}
+
+// Sync forces an immediate pull round and waits for it — tests and the
+// pre-promotion catch-up use it. Returns the pull's error (nil when the
+// replica is caught up with its source).
+func (r *Replica) Sync() error {
+	ch := make(chan error, 1)
+	select {
+	case r.kick <- ch:
+		return <-ch
+	case <-r.done:
+		return r.Err()
+	}
+}
+
+// Stop halts the pull loop (idempotent).
+func (r *Replica) Stop() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.done
+}
+
+// Err reports the terminal replication error, if any (divergence).
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Status reports the replica's sync position.
+func (r *Replica) Status() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ReplicaStatus{Shard: r.shard, Pulled: r.pulled}
+	if r.err != nil {
+		st.Err = r.err.Error()
+	}
+	return st
+}
+
+// Pulled reports how many records the replica has replayed.
+func (r *Replica) Pulled() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pulled
+}
+
+// Root returns the replica shard's current Merkle root (divergence
+// comparisons in tests).
+func (r *Replica) Root() [32]byte {
+	return r.sh.Sys.M.MC.MerkleRoot()
+}
+
+// Promote stops the pull loop, makes a best-effort final catch-up pull,
+// and adopts the replica as the serving owner. A diverged replica refuses
+// to promote.
+func (r *Replica) Promote() error {
+	select {
+	case <-r.done:
+	default:
+		// Best-effort catch-up while the loop still runs; in a failover the
+		// primary is usually already dead and this returns a transport error.
+		ch := make(chan error, 1)
+		select {
+		case r.kick <- ch:
+			<-ch
+		case <-r.done:
+		}
+		r.Stop()
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("cluster: refusing to promote diverged replica of shard %d: %w", r.shard, err)
+	}
+	return r.svc.PromoteShard(r.sh)
+}
+
+// mustJSON marshals v, panicking on failure (wire structs only).
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -16,7 +16,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
+	"time"
 
 	"fsencr/internal/fsproto"
 	"fsencr/internal/telemetry"
@@ -30,6 +33,9 @@ type APIError struct {
 	// RequestID is the server's X-Request-Id echo (the request's trace ID
 	// in hex), joining this failure to the server-side trace.
 	RequestID string
+	// Attempts is how many times the request was sent before this error
+	// came back (1 with retries off).
+	Attempts int
 }
 
 func (e *APIError) Error() string {
@@ -63,7 +69,34 @@ type Client struct {
 	sampled   bool
 	// LastRequestID is the X-Request-Id of the most recent response.
 	LastRequestID string
+
+	// retry bounds automatic re-sends; the zero value means exactly one
+	// attempt, which keeps the deterministic load generator's schedule
+	// intact (a silent retry would admit the same sequence number twice).
+	retry RetryPolicy
+	// onReroute, when set, is consulted on an epoch-mismatch response or a
+	// transport error: it returns a (possibly new) base URL after
+	// refreshing whatever routing state the caller maintains. The
+	// cluster-aware client uses it to chase shard migrations.
+	onReroute func() (string, bool)
 }
+
+// RetryPolicy bounds the client's automatic retries on HTTP 429 (admission
+// queue full) and transient transport errors. Off by default: Max is the
+// number of re-sends after the first attempt.
+type RetryPolicy struct {
+	Max       int           // re-sends after the first attempt (0 = off)
+	BaseDelay time.Duration // first backoff step (default 5ms when Max > 0)
+	MaxDelay  time.Duration // backoff cap (default 250ms)
+}
+
+// SetRetry installs a retry policy. Leave it unset (or Max 0) for
+// deterministic schedules.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
+// SetRerouter installs the routing-refresh hook consulted on epoch
+// mismatches and transport errors.
+func (c *Client) SetRerouter(fn func() (string, bool)) { c.onReroute = fn }
 
 // Dial points a client at a server base URL (e.g. "http://127.0.0.1:9144").
 // No connection is made until Login.
@@ -89,13 +122,52 @@ func (c *Client) GID() uint32 { return c.gid }
 // Shard returns the tenant's shard index echoed by the server at login.
 func (c *Client) Shard() int { return c.shard }
 
-// post sends one JSON request and decodes the response into out (nil out
-// discards the body).
+// post sends one JSON request, retrying per the client's policy, and
+// decodes the response into out (nil out discards the body). One logical
+// request keeps one trace ID across every attempt and reroute.
 func (c *Client) post(path string, req, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
+	c.reqSeq++
+	tc := fsproto.TraceContext{
+		TraceID: telemetry.MintTraceID(c.traceBase, c.reqSeq),
+		Sampled: c.sampled,
+	}
+	attempts, reroutes := 0, 0
+	for {
+		attempts++
+		err := c.send(path, body, tc, out)
+		if err == nil {
+			return nil
+		}
+		// A moved shard or a dead node is not a failure of the request, it
+		// is stale routing: refresh and re-send (bounded, in case the
+		// routing authority itself is confused).
+		if c.onReroute != nil && reroutes < maxReroutes && needsReroute(err) {
+			if base, ok := c.onReroute(); ok {
+				c.base = base
+				reroutes++
+				continue
+			}
+		}
+		if c.retry.Max <= 0 || attempts > c.retry.Max || !retryable(err) {
+			var ae *APIError
+			if errors.As(err, &ae) {
+				ae.Attempts = attempts
+			}
+			return err
+		}
+		time.Sleep(c.backoff(attempts))
+	}
+}
+
+// maxReroutes bounds routing-refresh loops within one logical request.
+const maxReroutes = 3
+
+// send is one attempt.
+func (c *Client) send(path string, body []byte, tc fsproto.TraceContext, out any) error {
 	hr, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -103,11 +175,6 @@ func (c *Client) post(path string, req, out any) error {
 	hr.Header.Set("Content-Type", "application/json")
 	if c.token != "" {
 		hr.Header.Set(fsproto.TokenHeader, c.token)
-	}
-	c.reqSeq++
-	tc := fsproto.TraceContext{
-		TraceID: telemetry.MintTraceID(c.traceBase, c.reqSeq),
-		Sampled: c.sampled,
 	}
 	hr.Header.Set(fsproto.TraceHeader, tc.String())
 	resp, err := c.hc.Do(hr)
@@ -131,6 +198,46 @@ func (c *Client) post(path string, req, out any) error {
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// retryable reports whether err is worth re-sending: admission backpressure
+// (429) or a transport-level failure that never reached a handler.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusTooManyRequests
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// needsReroute reports whether err signals stale routing: the node
+// disowned the shard at a newer epoch, or the node is unreachable.
+func needsReroute(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code == fsproto.CodeEpochMismatch
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// backoff is the sleep before re-send n+1: exponential from BaseDelay,
+// capped at MaxDelay, with ±50% jitter so synchronized clients desynchronize.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.retry.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	maxd := c.retry.MaxDelay
+	if maxd <= 0 {
+		maxd = 250 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
 }
 
 // Login opens the session. seq is the deterministic-mode schedule position

@@ -56,6 +56,11 @@ type LoadgenOptions struct {
 	// CrossEvery makes every Nth data op a cross-tenant read probe — the
 	// access the kernel must deny (0 disables; default 8).
 	CrossEvery int
+	// Coordinator, when set, routes every client through the cluster
+	// placement table (DialCluster) instead of the fixed base URL, so the
+	// load follows shards across migrations and failovers. Incompatible
+	// with Deterministic: cluster routing implies fair mode.
+	Coordinator string
 }
 
 func (o *LoadgenOptions) defaults() {
@@ -280,6 +285,9 @@ func buildSchedule(o LoadgenOptions) [][]lgOp {
 // denials as data: expected for cross-tenant probes, counted otherwise.
 func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 	o.defaults()
+	if o.Coordinator != "" && o.Deterministic {
+		return nil, errors.New("fsclient: cluster routing implies fair mode; drop Deterministic or Coordinator")
+	}
 	schedule := buildSchedule(o)
 	rep := &LoadgenReport{Clients: o.Clients, Tenants: o.Tenants}
 
@@ -312,6 +320,15 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 		go func(c int) {
 			defer wg.Done()
 			cl := Dial(base)
+			var cc *ClusterClient
+			if o.Coordinator != "" {
+				var derr error
+				if cc, derr = DialCluster(o.Coordinator); derr != nil {
+					noteErr(c, lgOp{}, derr)
+					return
+				}
+				cl = cc.Client
+			}
 			tenant := lgTenant(c, o.Tenants)
 			pat := Pattern(c)
 			// One pattern buffer per client; writes slice it instead of
@@ -337,7 +354,12 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 				var err error
 				switch op.kind {
 				case lgLogin:
-					if op.seq != nil {
+					if cc != nil {
+						// Cluster login dials the tenant's home-shard owner and
+						// swaps the embedded transport client.
+						err = cc.Login(tenant, uint32(c), lgPassphrase(c, o.Tenants))
+						cl = cc.Client
+					} else if op.seq != nil {
 						err = cl.Login(tenant, uint32(c), lgPassphrase(c, o.Tenants), *op.seq)
 					} else {
 						err = cl.Login(tenant, uint32(c), lgPassphrase(c, o.Tenants))

@@ -1,0 +1,116 @@
+package fsproto
+
+import "encoding/json"
+
+// Cluster routing plane wire types: the coordinator's placement table, the
+// per-shard admission-log records that migration and replication replay,
+// and the session records that travel with a migrated shard.
+//
+// The placement table turns ShardIndex from an in-process array index into
+// a cluster-wide contract: gid maps onto one of NShards *global* shard
+// slots, and the table names the node currently owning each slot. Epochs
+// are the fencing tokens: every ownership change bumps the placement's
+// epoch (and the table epoch), so a router holding an old table can detect
+// staleness the moment a node answers CodeEpochMismatch.
+
+// Placement is one shard's current home.
+type Placement struct {
+	// Shard is the global shard index in [0, NShards).
+	Shard int `json:"shard"`
+	// Node is the owning node's base URL ("http://10.0.0.2:9144").
+	Node string `json:"node"`
+	// Epoch counts ownership changes of this shard; 0 means unplaced.
+	Epoch uint64 `json:"epoch"`
+	// Replicas are base URLs of nodes replaying this shard's admission log.
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// ClusterTable is the coordinator-owned routing table.
+type ClusterTable struct {
+	// Epoch is the table version: bumped on every placement change, so
+	// routers can order tables without comparing contents.
+	Epoch uint64 `json:"epoch"`
+	// NShards is the global shard count — the modulus every router must
+	// use with ShardIndex. It never changes for the life of a cluster
+	// (changing it reshuffles nearly every gid; see TestShardIndexReshuffle).
+	NShards int `json:"n_shards"`
+	// Placements is indexed by shard.
+	Placements []Placement `json:"placements"`
+}
+
+// Owner returns the base URL of the node owning shard, if placed.
+func (t *ClusterTable) Owner(shard int) (string, bool) {
+	if shard < 0 || shard >= len(t.Placements) {
+		return "", false
+	}
+	p := t.Placements[shard]
+	if p.Epoch == 0 || p.Node == "" {
+		return "", false
+	}
+	return p.Node, true
+}
+
+// Admission-log record kinds beyond the op names ("create", "read", ...,
+// "login"): internal records the shard's worker appends itself.
+const (
+	// RecFlush marks a writeback of all dirty cached lines plus an OTT
+	// seal into the encrypted region — the crash-persist path run as a
+	// schedule step, so replicas replay the exact same flush.
+	RecFlush = "flush"
+	// RecCheckpoint carries the Merkle root observed at this log position.
+	// Replay verifies (never regenerates) it: a mismatch is divergence.
+	RecCheckpoint = "checkpoint"
+)
+
+// LogRecord is one admitted request in a shard's admission log, in
+// admission order. Per-shard state is a pure function of this sequence, so
+// the log doubles as the state-transfer stream for live migration and the
+// replication stream for replica shards.
+//
+// Records are self-contained: they carry the session identity (tenant,
+// effective uid, passphrase) so a replayer that never saw the session's
+// login (a replica bootstrapping mid-history, a cross-tenant op whose
+// session lives on another shard) can still reconstruct the acting
+// principal.
+type LogRecord struct {
+	// Pos is the record's position in the shard's log (0-based, dense).
+	Pos uint64 `json:"pos"`
+	// Kind is the op name ("login", "create", "read", "write", "chmod",
+	// "delete", "kv_create", "kv_put", "kv_get", "kv_delete") or an
+	// internal record kind (RecFlush, RecCheckpoint).
+	Kind string `json:"kind"`
+	// Seq is the deterministic-mode schedule position (0 in fair mode,
+	// where log order alone is the schedule).
+	Seq uint64 `json:"seq,omitempty"`
+	// GID is the admission group — the tenant group whose queue/telemetry
+	// the request was accounted to (the *target* group for cross-tenant
+	// ops).
+	GID uint32 `json:"gid,omitempty"`
+	// Token names the acting session. For "login" records it is the token
+	// the server assigned, so replicas bind the same token.
+	Token string `json:"token,omitempty"`
+	// Tenant/EUID/Pass reconstruct the acting session on a replayer.
+	Tenant string `json:"tenant,omitempty"`
+	EUID   uint32 `json:"euid,omitempty"`
+	Pass   string `json:"pass,omitempty"`
+	// TraceID/Parent/Sampled reproduce the request's tracing decision —
+	// trace retention counters live in the shard's deterministic registry,
+	// so replay must make the same keep/drop choices.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Sampled bool   `json:"sampled,omitempty"`
+	// Req is the op's request body (absent for internal records).
+	Req json.RawMessage `json:"req,omitempty"`
+	// Root is the hex Merkle root (RecCheckpoint only).
+	Root string `json:"root,omitempty"`
+}
+
+// SessionRecord is one live session shipped with a migrating shard, so
+// already-issued tokens keep working on the new owner.
+type SessionRecord struct {
+	Token  string `json:"token"`
+	Tenant string `json:"tenant"`
+	GID    uint32 `json:"gid"`
+	EUID   uint32 `json:"euid"`
+	Pass   string `json:"pass"`
+}

@@ -54,6 +54,24 @@ func ShardIndex(gid uint32, n int) int {
 // TokenHeader carries the session token on authenticated requests.
 const TokenHeader = "X-Fsencr-Token"
 
+// ForwardedHeader marks a request the cluster routing plane has already
+// forwarded once. A node receiving a misrouted request with this header set
+// answers CodeEpochMismatch instead of forwarding again, so a stale table
+// on two nodes cannot bounce a request in a loop.
+const ForwardedHeader = "X-Fsencr-Forwarded"
+
+// Peer headers ride on a forwarded request whose session is homed on the
+// forwarding node: the new owner of the target shard reconstructs a
+// shadow session from them (the same trust the admission-log replayer
+// extends to record credentials — fabric peers are inside the trust
+// boundary; tenant-level authorization still comes from the request
+// body's passphrase).
+const (
+	PeerTenantHeader = "X-Fsencr-Peer-Tenant"
+	PeerUIDHeader    = "X-Fsencr-Peer-Uid"
+	PeerPassHeader   = "X-Fsencr-Peer-Pass"
+)
+
 // TraceHeader carries the request's TraceContext from client to server;
 // RequestIDHeader echoes the trace ID back on every response so a
 // client-side failure is joinable to the server-side trace.
@@ -125,6 +143,11 @@ const (
 	CodeTimeout         = "timeout"
 	CodeBadRequest      = "bad_request"
 	CodeInternal        = "internal"
+	// CodeEpochMismatch reports a request routed to a node that no longer
+	// (or does not yet) own the tenant's shard: the client's placement
+	// table is from an older epoch. Clients refresh their table from the
+	// coordinator and retry.
+	CodeEpochMismatch = "epoch_mismatch"
 )
 
 // Seq carries the deterministic-mode schedule position of a request. The

@@ -126,9 +126,16 @@ var (
 // Boot creates a system: a machine in the given protection mode, a
 // formatted persistent region, and an empty keyring.
 func Boot(cfg config.Config, mcMode memctrl.Mode, accessMode AccessMode) *System {
+	return BootSeq(cfg, mcMode, accessMode, 0)
+}
+
+// BootSeq is Boot with an explicit controller chip sequence (0 = auto).
+// Cluster shards boot with a deterministic per-shard sequence so replicas
+// and migration targets derive the primary's exact processor keys.
+func BootSeq(cfg config.Config, mcMode memctrl.Mode, accessMode AccessMode, chipSeq uint64) *System {
 	s := &System{
 		cfg:       cfg,
-		M:         machine.New(cfg, mcMode),
+		M:         machine.NewWithChipSeq(cfg, mcMode, chipSeq),
 		FS:        fs.New(PmemBase, PmemSize),
 		Keyring:   NewKeyring(),
 		mode:      accessMode,

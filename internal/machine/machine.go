@@ -14,6 +14,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"fsencr/internal/addr"
 	"fsencr/internal/aesctr"
@@ -96,11 +97,19 @@ type Core struct {
 
 // New builds a machine in the given protection mode.
 func New(cfg config.Config, mode memctrl.Mode) *Machine {
+	return NewWithChipSeq(cfg, mode, 0)
+}
+
+// NewWithChipSeq builds a machine whose controller derives its processor
+// keys from an explicit chip sequence (0 = auto-unique). Cluster shards
+// use deterministic per-shard sequences so a migrated or replicated shard
+// reproduces the primary's ciphertext exactly.
+func NewWithChipSeq(cfg config.Config, mode memctrl.Mode, chipSeq uint64) *Machine {
 	st := stats.NewSet()
 	m := &Machine{
 		cfg:         cfg,
 		st:          st,
-		MC:          memctrl.New(cfg, mode, st),
+		MC:          memctrl.NewWithChipSeq(cfg, mode, st, chipSeq),
 		l3:          cache.New("l3", cfg.Processor.L3Size, cfg.Processor.L3Ways),
 		lines:       make(map[addr.Phys]*lineBuf),
 		ReadLatency: stats.NewHistogram(100, 150, 200, 300, 400, 600, 1000, 2000),
@@ -396,14 +405,24 @@ func (co *Core) Compute(n config.Cycle) { co.Now += n }
 // ID returns the core index.
 func (co *Core) ID() int { return co.id }
 
-// WritebackAll flushes every dirty line to NVM (used at clean shutdown and
-// at measurement boundaries to put schemes on equal footing).
+// WritebackAll flushes every dirty line to NVM in ascending address order
+// (used at clean shutdown and at measurement boundaries to put schemes on
+// equal footing). The ordering matters: PCM bank conflict counts and
+// busy-until times depend on access order, and the cluster fabric replays
+// this flush as an admission-log step that must reproduce identical state
+// on every replayer — map iteration order must not leak into it.
 func (m *Machine) WritebackAll() {
+	dirty := make([]addr.Phys, 0, len(m.lines))
 	for la, lb := range m.lines {
 		if lb.dirty {
-			m.MC.WriteLine(0, la, lb.data)
-			lb.dirty = false
+			dirty = append(dirty, la)
 		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, la := range dirty {
+		lb := m.lines[la]
+		m.MC.WriteLine(0, la, lb.data)
+		lb.dirty = false
 	}
 }
 

@@ -63,6 +63,11 @@ type Controller struct {
 	cfg  config.Config
 	mode Mode
 	st   *stats.Set
+	// chipSeq is the per-chip key-derivation sequence the controller was
+	// built with. Controllers sharing a chipSeq derive identical memory
+	// and OTT keys — the property shard migration and replication rely on
+	// to make replayed ciphertext and sealed OTT buckets byte-identical.
+	chipSeq uint64
 
 	PCM *pcm.Memory
 
@@ -209,6 +214,21 @@ func New(cfg config.Config, mode Mode, st *stats.Set) *Controller {
 	return newWithSeq(cfg, mode, st, instanceSeq.Add(1))
 }
 
+// NewWithChipSeq builds a controller with an explicit chip sequence
+// number. The cluster fabric uses it to give a shard's replicas and
+// migration targets the same processor keys as the primary, so state
+// reconstructed by admission-log replay is byte-identical down to the
+// ciphertext. seq 0 falls back to the auto-assigned per-process sequence.
+func NewWithChipSeq(cfg config.Config, mode Mode, st *stats.Set, seq uint64) *Controller {
+	if seq == 0 {
+		return New(cfg, mode, st)
+	}
+	return newWithSeq(cfg, mode, st, seq)
+}
+
+// ChipSeq returns the chip key-derivation sequence number.
+func (c *Controller) ChipSeq() uint64 { return c.chipSeq }
+
 // newWithSeq builds a controller with an explicit chip sequence number.
 // Tests that must compare ciphertext across two controllers (the
 // page-vs-line equivalence property) pass the same seq to both so the
@@ -219,6 +239,7 @@ func newWithSeq(cfg config.Config, mode Mode, st *stats.Set, seq uint64) *Contro
 		cfg:           cfg,
 		mode:          mode,
 		st:            st,
+		chipSeq:       seq,
 		PCM:           pcm.New(cfg.PCM, st),
 		engines:       make(map[aesctr.Key]*aesctr.Engine),
 		mecb:          make(map[uint64]*counters.MECB),

@@ -1,0 +1,109 @@
+package memctrl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"fsencr/internal/addr"
+	"fsencr/internal/aesctr"
+	"fsencr/internal/config"
+	"fsencr/internal/stats"
+)
+
+// buildImageSource writes file and non-file traffic into a controller with
+// a fixed chip sequence and returns it.
+func buildImageSource(t *testing.T, seq uint64) *Controller {
+	t.Helper()
+	cfg := config.Default()
+	mode := Mode{MemEncryption: true, FileEncryption: true}
+	c := NewWithChipSeq(cfg, mode, stats.NewSet(), seq)
+	key := aesctr.Key{1, 2, 3, 4}
+	c.InstallKey(0, 7, 3, key)
+	now := config.Cycle(0)
+	var line aesctr.Line
+	for i := 0; i < 64; i++ {
+		for j := range line {
+			line[j] = byte(i + j)
+		}
+		pa := addr.Phys(i * config.LineSize)
+		now = c.WriteLine(now, pa, line)
+	}
+	// File lines through the DF datapath for page 2.
+	now = c.TagPage(now, addr.Phys(2*config.PageSize), 7, 3)
+	for i := 0; i < 8; i++ {
+		for j := range line {
+			line[j] = byte(0xa0 + i + j)
+		}
+		pa := (addr.Phys(2*config.PageSize + i*config.LineSize)).WithDF()
+		now = c.WriteLine(now, pa, line)
+	}
+	// ExportImage mutates nothing; sealing the OTT is the exporter's job.
+	c.FlushOTT()
+	return c
+}
+
+// TestImageRoundTrip exports an image, ships it through gob (the wire
+// form), imports it into a fresh controller with the same chip sequence,
+// and checks plaintext and root equivalence plus the recovery gate.
+func TestImageRoundTrip(t *testing.T) {
+	const seq = 4242
+	src := buildImageSource(t, seq)
+	img, err := src.ExportImage()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var wire Image
+	if err := gob.NewDecoder(&buf).Decode(&wire); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+
+	cfg := config.Default()
+	mode := Mode{MemEncryption: true, FileEncryption: true}
+	dst := NewWithChipSeq(cfg, mode, stats.NewSet(), seq)
+	if err := dst.ImportImage(&wire); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if dst.MerkleRoot() != src.MerkleRoot() {
+		t.Fatalf("root mismatch after import")
+	}
+	// Plaintext equivalence through the live datapath.
+	pa := addr.Phys(3 * config.LineSize)
+	want, _ := src.ReadLine(0, pa)
+	got, _ := dst.ReadLine(0, pa)
+	if want != got {
+		t.Fatalf("plaintext mismatch after import: %x vs %x", want[:8], got[:8])
+	}
+	fpa := (addr.Phys(2 * config.PageSize)).WithDF()
+	want, _ = src.ReadLine(0, fpa)
+	got, _ = dst.ReadLine(0, fpa)
+	if want != got {
+		t.Fatalf("file plaintext mismatch after import: %x vs %x", want[:8], got[:8])
+	}
+
+	// The non-destructive cutover gate must pass on the wire image.
+	if err := VerifyImage(cfg, mode, &wire); err != nil {
+		t.Fatalf("VerifyImage: %v", err)
+	}
+}
+
+// TestImageRejectsWrongChip checks an image cannot rehydrate under
+// different processor keys.
+func TestImageRejectsWrongChip(t *testing.T) {
+	src := buildImageSource(t, 777)
+	img, err := src.ExportImage()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	cfg := config.Default()
+	mode := Mode{MemEncryption: true, FileEncryption: true}
+	dst := NewWithChipSeq(cfg, mode, stats.NewSet(), 778)
+	if err := dst.ImportImage(img); err == nil {
+		t.Fatalf("import under a different chip seq must be rejected")
+	}
+}

@@ -68,6 +68,16 @@ const (
 	// namespace and the kernel denied it — permission bits or a
 	// non-verifying per-file key (internal/server).
 	CrossTenantDenied Type = "cross_tenant_denied"
+
+	// ShardMigrated: a shard finished live migration onto this node — the
+	// admission-log replay root matched the shipped image and the Osiris
+	// recovery gate passed (internal/cluster).
+	ShardMigrated Type = "shard_migrated"
+	// ReplicaDiverged: a replica replaying a primary's admission log
+	// reached a checkpoint whose Merkle root disagrees with the
+	// primary's — replicated state is no longer a pure function of the
+	// log (internal/cluster).
+	ReplicaDiverged Type = "replica_diverged"
 )
 
 // Event is one journal entry. Cycle is the simulated-cycle timestamp of

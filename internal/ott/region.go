@@ -194,6 +194,36 @@ func (r *Region) SealedRecords() []Sealed {
 	return out
 }
 
+// ExportTable deep-copies the sealed bucket table (shard-migration image
+// form). The records stay sealed: the image never exposes plaintext keys.
+func (r *Region) ExportTable() [][]Sealed {
+	out := make([][]Sealed, len(r.table))
+	for i, b := range r.table {
+		if len(b) == 0 {
+			continue
+		}
+		out[i] = append([]Sealed(nil), b...)
+	}
+	return out
+}
+
+// ImportTable replaces the bucket table with an exported copy. The bucket
+// count must match the region geometry (sealed records bind their bucket
+// index, so records cannot be rehomed anyway).
+func (r *Region) ImportTable(table [][]Sealed) error {
+	if len(table) != r.buckets {
+		return errors.New("ott: imported table bucket count mismatch")
+	}
+	r.table = make([][]Sealed, r.buckets)
+	for i, b := range table {
+		if len(b) == 0 {
+			continue
+		}
+		r.table[i] = append([]Sealed(nil), b...)
+	}
+	return nil
+}
+
 // Len returns the number of sealed records.
 func (r *Region) Len() int {
 	n := 0

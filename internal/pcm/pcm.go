@@ -249,6 +249,30 @@ func (m *Memory) Writes() uint64 { return m.st.Get("pcm.writes") }
 // FramesTouched returns how many distinct 4 KB frames have backing storage.
 func (m *Memory) FramesTouched() int { return len(m.frames) }
 
+// ExportFrames deep-copies every backed frame, keyed by page number — the
+// serializable form of the device contents (ciphertext) used by shard
+// migration images.
+func (m *Memory) ExportFrames() map[uint64][]byte {
+	out := make(map[uint64][]byte, len(m.frames))
+	for pn, f := range m.frames {
+		b := make([]byte, config.PageSize)
+		copy(b, f[:])
+		out[pn] = b
+	}
+	return out
+}
+
+// ImportFrames replaces the device contents with the exported set. Frames
+// shorter than a page are zero-padded; timing state is untouched.
+func (m *Memory) ImportFrames(frames map[uint64][]byte) {
+	m.frames = make(map[uint64]*[config.PageSize]byte, len(frames))
+	for pn, b := range frames {
+		f := new([config.PageSize]byte)
+		copy(f[:], b)
+		m.frames[pn] = f
+	}
+}
+
 // ResetTiming clears bank state (used at measurement-phase boundaries so
 // warm-up traffic does not leak stale busy-until times into the measured
 // region; contents are preserved).

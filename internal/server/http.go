@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"fsencr/internal/fs"
@@ -22,6 +24,10 @@ const maxBodyBytes = 1 << 20
 
 // httpStatus maps service errors onto (status, stable code).
 func httpStatus(err error) (int, string) {
+	var wse *WrongShardError
+	if errors.As(err, &wse) {
+		return http.StatusMisdirectedRequest, fsproto.CodeEpochMismatch
+	}
 	switch {
 	case errors.Is(err, ErrAuth):
 		return http.StatusUnauthorized, fsproto.CodeAuth
@@ -121,14 +127,32 @@ func (svc *Service) endpoint(h handler) http.HandlerFunc {
 			status = svc.writeError(w, fmt.Errorf("%w: POST required", ErrBadRequest))
 			return
 		}
-		var err error
-		sess, err = svc.session(r.Header.Get(fsproto.TokenHeader))
+		// Buffer the body up front: a misrouted request may need proxying
+		// to the shard's current owner, body and all.
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 		if err != nil {
+			status = svc.writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		sess, err = svc.session(r.Header.Get(fsproto.TokenHeader))
+		if err != nil && errors.Is(err, errBadToken) {
+			sess, err = svc.peerSession(r)
+		}
+		if err != nil {
+			if st, ok := svc.tryForward(w, r, body, nil, err); ok {
+				status = st
+				return
+			}
 			status = svc.writeError(w, err)
 			return
 		}
 		v, err := h(sess, r)
 		if err != nil {
+			if st, ok := svc.tryForward(w, r, body, sess, err); ok {
+				status = st
+				return
+			}
 			status = svc.writeError(w, err)
 			return
 		}
@@ -144,6 +168,63 @@ func (svc *Service) endpoint(h handler) http.HandlerFunc {
 	}
 }
 
+// tryForward proxies a misrouted request (WrongShardError) to the
+// shard's current owner, one hop at most — the ForwardedHeader loop
+// guard keeps two stale nodes from bouncing a request between them.
+// When the request's session is homed here (a cross-tenant op targeting
+// a remote shard) the session identity rides along as peer headers so
+// the owner can admit it under a shadow session. Returns ok=false to
+// fall through to the ordinary 421, which a cluster-aware client
+// answers by refreshing its routing table.
+func (svc *Service) tryForward(w http.ResponseWriter, r *http.Request, body []byte, sess *Session, err error) (int, bool) {
+	var wse *WrongShardError
+	if !errors.As(err, &wse) {
+		return 0, false
+	}
+	if r.Header.Get(fsproto.ForwardedHeader) != "" {
+		return 0, false
+	}
+	f := svc.forwarder()
+	if f == nil {
+		return 0, false
+	}
+	base, ok := f(wse.Shard)
+	if !ok || base == "" {
+		return 0, false
+	}
+	req, rerr := http.NewRequestWithContext(r.Context(), http.MethodPost, base+r.URL.Path, bytes.NewReader(body))
+	if rerr != nil {
+		return 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(fsproto.ForwardedHeader, "1")
+	if tok := r.Header.Get(fsproto.TokenHeader); tok != "" {
+		req.Header.Set(fsproto.TokenHeader, tok)
+	}
+	if sess != nil {
+		req.Header.Set(fsproto.PeerTenantHeader, sess.tenant)
+		req.Header.Set(fsproto.PeerUIDHeader, strconv.FormatUint(uint64(sess.uid), 10))
+		req.Header.Set(fsproto.PeerPassHeader, sess.pass)
+	}
+	if tc := r.Header.Get(fsproto.TraceHeader); tc != "" {
+		req.Header.Set(fsproto.TraceHeader, tc)
+	}
+	resp, rerr := svc.fwdHC.Do(req)
+	if rerr != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, cerr := io.Copy(w, resp.Body); cerr != nil {
+		svc.cEncErrs.Inc()
+	}
+	svc.cFwd.Inc()
+	return resp.StatusCode, true
+}
+
 func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	svc.cReqs.Inc()
@@ -156,9 +237,14 @@ func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
 		svc.hReqNs.Observe(uint64(dur))
 		svc.noteRequest(sess, dur, status)
 	}()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		status = svc.writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
 	var req fsproto.LoginRequest
-	if err := decode(r, &req); err != nil {
-		status = svc.writeError(w, err)
+	if err := json.Unmarshal(body, &req); err != nil {
+		status = svc.writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	ctx, cancel := context.WithTimeout(WithTrace(r.Context(), tc), svc.opts.RequestTimeout)
@@ -167,15 +253,19 @@ func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
 	if req.Seq != nil {
 		seq = *req.Seq
 	}
-	sess, err := svc.Login(ctx, req.Tenant, req.UID, req.Passphrase, seq)
+	sess, err = svc.Login(ctx, req.Tenant, req.UID, req.Passphrase, seq)
 	if err != nil {
+		if st, ok := svc.tryForward(w, r, body, nil, err); ok {
+			status = st
+			return
+		}
 		status = svc.writeError(w, err)
 		return
 	}
 	svc.writeJSON(w, http.StatusOK, fsproto.LoginResponse{
 		Token: sess.token,
 		GID:   sess.gid,
-		Shard: fsproto.ShardIndex(sess.gid, len(svc.shards)),
+		Shard: fsproto.ShardIndex(sess.gid, svc.nShards),
 	})
 }
 
@@ -184,7 +274,7 @@ func (svc *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
 // determinism acceptance check byte-compares across reruns.
 func (svc *Service) handleShardsProm(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, sh := range svc.shards {
+	for _, sh := range svc.shardList() {
 		fmt.Fprintf(w, "# shard %d\n", sh.ID())
 		if err := sh.Snapshot().WritePrometheus(w); err != nil {
 			svc.cEncErrs.Inc()
@@ -199,8 +289,9 @@ func (svc *Service) handleShardsJSON(w http.ResponseWriter, _ *http.Request) {
 		Shard    int `json:"shard"`
 		Snapshot any `json:"snapshot"`
 	}
-	docs := make([]shardDoc, 0, len(svc.shards))
-	for _, sh := range svc.shards {
+	shards := svc.shardList()
+	docs := make([]shardDoc, 0, len(shards))
+	for _, sh := range shards {
 		docs = append(docs, shardDoc{Shard: sh.ID(), Snapshot: sh.Snapshot().WithoutSpans()})
 	}
 	svc.writeJSON(w, http.StatusOK, docs)

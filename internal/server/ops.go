@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -117,15 +118,33 @@ type target struct {
 	cross  bool
 }
 
-// resolve maps a request's optional tenant override to its shard.
-func (svc *Service) resolve(sess *Session, tenantOverride string) target {
+// resolve maps a request's optional tenant override to its shard,
+// reporting the routing error when that shard lives on another node.
+func (svc *Service) resolve(sess *Session, tenantOverride string) (target, error) {
 	t := target{tenant: sess.tenant, gid: sess.gid}
 	if tenantOverride != "" && tenantOverride != sess.tenant {
 		t.tenant = tenantOverride
 		t.gid = fsproto.TenantGID(tenantOverride)
 		t.cross = true
 	}
-	t.sh = svc.shardFor(t.gid)
+	sh, err := svc.shardFor(t.gid)
+	if err != nil {
+		return target{}, err
+	}
+	t.sh = sh
+	return t, nil
+}
+
+// replayTarget rebuilds an op's resolved destination without consulting
+// the routing table: in an admission-log replay the target shard is by
+// construction the shard whose log is being replayed.
+func replayTarget(sh *Shard, sess *Session, override string) target {
+	t := target{tenant: sess.tenant, gid: sess.gid, sh: sh}
+	if override != "" && override != sess.tenant {
+		t.tenant = override
+		t.gid = fsproto.TenantGID(override)
+		t.cross = true
+	}
 	return t
 }
 
@@ -163,10 +182,41 @@ func (svc *Service) noteDenial(sh *Shard, sess *Session, tgt target, err error) 
 	svc.cXDenied.Inc()
 }
 
+// buildRecord assembles one admission-log record: the request's wire JSON
+// plus the session credentials a replayer needs to reconstruct a shadow
+// session that never logged in through this shard's log (cross-tenant
+// traffic). Returns nil when req does not marshal — the op then simply
+// goes unlogged rather than failing live traffic.
+func buildRecord(kind string, gid uint32, seq uint64, sess *Session, tc fsproto.TraceContext, req any) *fsproto.LogRecord {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil
+	}
+	rec := &fsproto.LogRecord{
+		Kind:    kind,
+		Seq:     seq,
+		GID:     gid,
+		TraceID: tc.TraceID,
+		Parent:  tc.Parent,
+		Sampled: tc.Sampled,
+		Req:     raw,
+	}
+	if sess != nil {
+		rec.Token = sess.token
+		rec.Tenant = sess.tenant
+		rec.EUID = sess.uid
+		rec.Pass = sess.pass
+	}
+	return rec
+}
+
 // do wraps shard submission with the service's request timeout, naming the
-// request's root span and forwarding the trace context the HTTP layer put
-// into ctx.
-func (svc *Service) do(ctx context.Context, sh *Shard, gid uint32, seq fsproto.Seq, name string, fn func() (any, error)) (any, error) {
+// request's root span, forwarding the trace context the HTTP layer put
+// into ctx, and — on logging shards — attaching the admission-log record
+// the worker appends after execution. req is the wire request that record
+// serializes; the zero-allocation read path is preserved on non-logging
+// shards, where req is never marshaled.
+func (svc *Service) do(ctx context.Context, sh *Shard, sess *Session, gid uint32, seq fsproto.Seq, name string, req any, fn func() (any, error)) (any, error) {
 	tc := TraceFromContext(ctx)
 	ctx, cancel := context.WithTimeout(ctx, svc.opts.RequestTimeout)
 	defer cancel()
@@ -174,7 +224,115 @@ func (svc *Service) do(ctx context.Context, sh *Shard, gid uint32, seq fsproto.S
 	if seq != nil {
 		s = *seq
 	}
-	return sh.DoTraced(ctx, gid, s, name, tc, fn)
+	var rec *fsproto.LogRecord
+	if sh.logOn {
+		rec = buildRecord(name, gid, s, sess, tc, req)
+	}
+	return sh.submit(ctx, gid, s, name, tc, rec, fn)
+}
+
+// The work* methods below are the worker-goroutine op bodies, shared
+// verbatim between live admission and admission-log replay so a replayed
+// shard touches its simulated machine in exactly the live sequence.
+
+func (svc *Service) workCreate(sh *Shard, sess *Session, req fsproto.CreateRequest) (any, error) {
+	p := sh.proc(sess)
+	_, err := sh.Sys.CreateFile(p, fullName(sess.tenant, req.Name),
+		fs.Mode(req.Perm), req.Size, req.Encrypted, pass(sess, req.Passphrase))
+	return nil, err
+}
+
+func (svc *Service) workRead(tgt target, sess *Session, req fsproto.ReadRequest, dst []byte) (any, error) {
+	if err := tgt.sh.readInto(sess, fullName(tgt.tenant, req.Name), pass(sess, req.Passphrase), req.Offset, dst); err != nil {
+		svc.noteDenial(tgt.sh, sess, tgt, err)
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (svc *Service) workWrite(tgt target, sess *Session, req fsproto.WriteRequest) (any, error) {
+	p := tgt.sh.proc(sess)
+	f, err := tgt.sh.Sys.OpenFile(p, fullName(tgt.tenant, req.Name), fs.WriteAccess, pass(sess, req.Passphrase))
+	if err != nil {
+		svc.noteDenial(tgt.sh, sess, tgt, err)
+		return nil, err
+	}
+	if req.Offset+uint64(len(req.Data)) > f.Size {
+		return nil, fmt.Errorf("%w: write [%d,%d) beyond EOF %d", ErrBadRequest, req.Offset, req.Offset+uint64(len(req.Data)), f.Size)
+	}
+	va, err := tgt.sh.mapping(sess, f)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Write(va+addr.Virt(req.Offset), req.Data); err != nil {
+		return nil, err
+	}
+	return nil, p.Persist(va+addr.Virt(req.Offset), uint64(len(req.Data)))
+}
+
+func (svc *Service) workChmod(tgt target, sess *Session, req fsproto.ChmodRequest) (any, error) {
+	err := tgt.sh.Sys.Chmod(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name), fs.Mode(req.Perm))
+	if err != nil {
+		svc.noteDenial(tgt.sh, sess, tgt, err)
+	}
+	return nil, err
+}
+
+func (svc *Service) workDelete(tgt target, sess *Session, req fsproto.DeleteRequest) (any, error) {
+	err := tgt.sh.Sys.Unlink(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name))
+	if err != nil {
+		svc.noteDenial(tgt.sh, sess, tgt, err)
+	}
+	return nil, err
+}
+
+func (svc *Service) workKVCreate(sh *Shard, sess *Session, req fsproto.KVCreateRequest) (any, error) {
+	p := sh.proc(sess)
+	full := kvName(sess.tenant, req.Store)
+	// 0660: group-shared within the tenant; the per-file key (from the
+	// store passphrase) still gates every other tenant out.
+	f, err := sh.Sys.CreateFile(p, full, 0660, req.Size, true, pass(sess, req.Passphrase))
+	if err != nil {
+		return nil, err
+	}
+	pool, err := pmem.Create(p, f, req.Size)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := kvstore.Create(pool, 0)
+	if err != nil {
+		return nil, err
+	}
+	tree.Instrument(sh.Reg)
+	sh.state(sess).kv[full] = &kvHandle{pool: pool, tree: tree}
+	return nil, nil
+}
+
+func (svc *Service) workKVPut(tgt target, sess *Session, req fsproto.KVPutRequest) (any, error) {
+	h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
+	if err != nil {
+		svc.noteDenial(tgt.sh, sess, tgt, err)
+		return nil, err
+	}
+	return nil, h.tree.Put(req.Key, req.Value)
+}
+
+func (svc *Service) workKVGet(tgt target, sess *Session, req fsproto.KVGetRequest, dst []byte) (any, error) {
+	h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.ReadAccess)
+	if err != nil {
+		svc.noteDenial(tgt.sh, sess, tgt, err)
+		return nil, err
+	}
+	return h.tree.Get(req.Key, dst)
+}
+
+func (svc *Service) workKVDelete(tgt target, sess *Session, req fsproto.KVDeleteRequest) (any, error) {
+	h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
+	if err != nil {
+		svc.noteDenial(tgt.sh, sess, tgt, err)
+		return nil, err
+	}
+	return h.tree.Delete(req.Key)
 }
 
 // Create creates a file in the session tenant's own namespace.
@@ -182,12 +340,12 @@ func (svc *Service) Create(ctx context.Context, sess *Session, req fsproto.Creat
 	if req.Name == "" {
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
-	sh := svc.shardFor(sess.gid)
-	_, err := svc.do(ctx, sh, sess.gid, req.Seq, "create", func() (any, error) {
-		p := sh.proc(sess)
-		_, err := sh.Sys.CreateFile(p, fullName(sess.tenant, req.Name),
-			fs.Mode(req.Perm), req.Size, req.Encrypted, pass(sess, req.Passphrase))
-		return nil, err
+	sh, err := svc.shardFor(sess.gid)
+	if err != nil {
+		return err
+	}
+	_, err = svc.do(ctx, sh, sess, sess.gid, req.Seq, "create", &req, func() (any, error) {
+		return svc.workCreate(sh, sess, req)
 	})
 	return err
 }
@@ -227,15 +385,13 @@ func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadReq
 	if req.Length > maxReadBytes {
 		return Payload{}, fmt.Errorf("%w: length %d exceeds limit %d", ErrBadRequest, req.Length, maxReadBytes)
 	}
-	tgt := svc.resolve(sess, req.Tenant)
-	name := fullName(tgt.tenant, req.Name)
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return Payload{}, err
+	}
 	pl := newPayload(req.Length)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "read", func() (any, error) {
-		if err := tgt.sh.readInto(sess, name, pass(sess, req.Passphrase), req.Offset, pl.Data); err != nil {
-			svc.noteDenial(tgt.sh, sess, tgt, err)
-			return nil, err
-		}
-		return nil, nil
+	_, err = svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "read", &req, func() (any, error) {
+		return svc.workRead(tgt, sess, req, pl.Data)
 	})
 	if err != nil {
 		// Not released: on a caller timeout the task may still be queued,
@@ -252,25 +408,12 @@ func (svc *Service) Write(ctx context.Context, sess *Session, req fsproto.WriteR
 	if req.Name == "" {
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
-	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "write", func() (any, error) {
-		p := tgt.sh.proc(sess)
-		f, err := tgt.sh.Sys.OpenFile(p, fullName(tgt.tenant, req.Name), fs.WriteAccess, pass(sess, req.Passphrase))
-		if err != nil {
-			svc.noteDenial(tgt.sh, sess, tgt, err)
-			return nil, err
-		}
-		if req.Offset+uint64(len(req.Data)) > f.Size {
-			return nil, fmt.Errorf("%w: write [%d,%d) beyond EOF %d", ErrBadRequest, req.Offset, req.Offset+uint64(len(req.Data)), f.Size)
-		}
-		va, err := tgt.sh.mapping(sess, f)
-		if err != nil {
-			return nil, err
-		}
-		if err := p.Write(va+addr.Virt(req.Offset), req.Data); err != nil {
-			return nil, err
-		}
-		return nil, p.Persist(va+addr.Virt(req.Offset), uint64(len(req.Data)))
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return err
+	}
+	_, err = svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "write", &req, func() (any, error) {
+		return svc.workWrite(tgt, sess, req)
 	})
 	return err
 }
@@ -280,13 +423,12 @@ func (svc *Service) Chmod(ctx context.Context, sess *Session, req fsproto.ChmodR
 	if req.Name == "" {
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
-	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "chmod", func() (any, error) {
-		err := tgt.sh.Sys.Chmod(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name), fs.Mode(req.Perm))
-		if err != nil {
-			svc.noteDenial(tgt.sh, sess, tgt, err)
-		}
-		return nil, err
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return err
+	}
+	_, err = svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "chmod", &req, func() (any, error) {
+		return svc.workChmod(tgt, sess, req)
 	})
 	return err
 }
@@ -297,13 +439,12 @@ func (svc *Service) Delete(ctx context.Context, sess *Session, req fsproto.Delet
 	if req.Name == "" {
 		return fmt.Errorf("%w: name required", ErrBadRequest)
 	}
-	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "delete", func() (any, error) {
-		err := tgt.sh.Sys.Unlink(tgt.sh.proc(sess), fullName(tgt.tenant, req.Name))
-		if err != nil {
-			svc.noteDenial(tgt.sh, sess, tgt, err)
-		}
-		return nil, err
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return err
+	}
+	_, err = svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "delete", &req, func() (any, error) {
+		return svc.workDelete(tgt, sess, req)
 	})
 	return err
 }
@@ -341,27 +482,12 @@ func (svc *Service) KVCreate(ctx context.Context, sess *Session, req fsproto.KVC
 	if req.Store == "" || req.Size == 0 {
 		return fmt.Errorf("%w: store and size required", ErrBadRequest)
 	}
-	sh := svc.shardFor(sess.gid)
-	_, err := svc.do(ctx, sh, sess.gid, req.Seq, "kv_create", func() (any, error) {
-		p := sh.proc(sess)
-		full := kvName(sess.tenant, req.Store)
-		// 0660: group-shared within the tenant; the per-file key (from the
-		// store passphrase) still gates every other tenant out.
-		f, err := sh.Sys.CreateFile(p, full, 0660, req.Size, true, pass(sess, req.Passphrase))
-		if err != nil {
-			return nil, err
-		}
-		pool, err := pmem.Create(p, f, req.Size)
-		if err != nil {
-			return nil, err
-		}
-		tree, err := kvstore.Create(pool, 0)
-		if err != nil {
-			return nil, err
-		}
-		tree.Instrument(sh.Reg)
-		sh.state(sess).kv[full] = &kvHandle{pool: pool, tree: tree}
-		return nil, nil
+	sh, err := svc.shardFor(sess.gid)
+	if err != nil {
+		return err
+	}
+	_, err = svc.do(ctx, sh, sess, sess.gid, req.Seq, "kv_create", &req, func() (any, error) {
+		return svc.workKVCreate(sh, sess, req)
 	})
 	return err
 }
@@ -371,14 +497,12 @@ func (svc *Service) KVPut(ctx context.Context, sess *Session, req fsproto.KVPutR
 	if req.Store == "" || len(req.Value) > maxKVValue {
 		return fmt.Errorf("%w: store required, value <= %d bytes", ErrBadRequest, maxKVValue)
 	}
-	tgt := svc.resolve(sess, req.Tenant)
-	_, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "kv_put", func() (any, error) {
-		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
-		if err != nil {
-			svc.noteDenial(tgt.sh, sess, tgt, err)
-			return nil, err
-		}
-		return nil, h.tree.Put(req.Key, req.Value)
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return err
+	}
+	_, err = svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "kv_put", &req, func() (any, error) {
+		return svc.workKVPut(tgt, sess, req)
 	})
 	return err
 }
@@ -389,15 +513,13 @@ func (svc *Service) KVGet(ctx context.Context, sess *Session, req fsproto.KVGetR
 	if req.Store == "" {
 		return Payload{}, fmt.Errorf("%w: store required", ErrBadRequest)
 	}
-	tgt := svc.resolve(sess, req.Tenant)
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return Payload{}, err
+	}
 	pl := newPayload(maxKVValue)
-	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "kv_get", func() (any, error) {
-		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.ReadAccess)
-		if err != nil {
-			svc.noteDenial(tgt.sh, sess, tgt, err)
-			return nil, err
-		}
-		return h.tree.Get(req.Key, pl.Data)
+	v, err := svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "kv_get", &req, func() (any, error) {
+		return svc.workKVGet(tgt, sess, req, pl.Data)
 	})
 	if err != nil {
 		// Same rationale as Read: a possibly-still-queued task owns the
@@ -413,14 +535,12 @@ func (svc *Service) KVDelete(ctx context.Context, sess *Session, req fsproto.KVD
 	if req.Store == "" {
 		return false, fmt.Errorf("%w: store required", ErrBadRequest)
 	}
-	tgt := svc.resolve(sess, req.Tenant)
-	v, err := svc.do(ctx, tgt.sh, tgt.gid, req.Seq, "kv_delete", func() (any, error) {
-		h, err := tgt.sh.kvHandleFor(sess, tgt.tenant, req.Store, pass(sess, req.Passphrase), fs.WriteAccess)
-		if err != nil {
-			svc.noteDenial(tgt.sh, sess, tgt, err)
-			return nil, err
-		}
-		return h.tree.Delete(req.Key)
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return false, err
+	}
+	v, err := svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "kv_delete", &req, func() (any, error) {
+		return svc.workKVDelete(tgt, sess, req)
 	})
 	if err != nil {
 		return false, err

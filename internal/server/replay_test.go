@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"fsencr/internal/fsproto"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+)
+
+// seqFor hands out per-shard deterministic schedule sequence numbers.
+type seqFor struct {
+	next map[int]uint64
+	n    int
+}
+
+func newSeqFor(nShards int) *seqFor { return &seqFor{next: make(map[int]uint64), n: nShards} }
+
+func (s *seqFor) take(gid uint32) *uint64 {
+	idx := fsproto.ShardIndex(gid, s.n)
+	v := s.next[idx]
+	s.next[idx] = v + 1
+	return &v
+}
+
+// tenantOnShard finds a tenant name hashing onto the wanted global shard.
+func tenantOnShard(t *testing.T, want, nShards int, taken map[string]bool) string {
+	t.Helper()
+	names := []string{"acme", "globex", "initech", "umbrella", "wayne", "stark", "hooli", "soylent", "tyrell", "wonka"}
+	for _, n := range names {
+		if taken[n] {
+			continue
+		}
+		if fsproto.ShardIndex(fsproto.TenantGID(n), nShards) == want {
+			taken[n] = true
+			return n
+		}
+	}
+	t.Fatalf("no test tenant hashes onto shard %d/%d", want, nShards)
+	return ""
+}
+
+// clusterTestOptions is the two-shard deterministic logging configuration
+// the replay tests run under.
+func clusterTestOptions() Options {
+	return Options{
+		Shards:          2,
+		MCMode:          memctrl.Mode{MemEncryption: true, FileEncryption: true},
+		Access:          kernel.ModeDAX,
+		Deterministic:   true,
+		AdmissionLog:    true,
+		ChipSeqBase:     DefaultChipSeqBase,
+		CheckpointEvery: 4,
+	}
+}
+
+// runReplayWorkload drives a mixed workload (logins, file ops, KV ops, a
+// cross-tenant denial) against svc and returns the sessions by tenant.
+func runReplayWorkload(t *testing.T, svc *Service, seqs *seqFor, tA, tB string) map[string]*Session {
+	t.Helper()
+	ctx := context.Background()
+	sess := make(map[string]*Session)
+	for _, tn := range []string{tA, tB} {
+		gid := fsproto.TenantGID(tn)
+		s, err := svc.Login(ctx, tn, 1, "pw-"+tn, *seqs.take(gid))
+		if err != nil {
+			t.Fatalf("login %s: %v", tn, err)
+		}
+		sess[tn] = s
+	}
+	for _, tn := range []string{tA, tB} {
+		s := sess[tn]
+		if err := svc.Create(ctx, s, fsproto.CreateRequest{
+			Name: "data.bin", Perm: 0600, Size: 2 * 4096, Encrypted: true, Seq: seqs.take(s.gid),
+		}); err != nil {
+			t.Fatalf("create %s: %v", tn, err)
+		}
+		payload := bytes.Repeat([]byte{byte(len(tn))}, 4096)
+		if err := svc.Write(ctx, s, fsproto.WriteRequest{
+			Name: "data.bin", Data: payload, Seq: seqs.take(s.gid),
+		}); err != nil {
+			t.Fatalf("write %s: %v", tn, err)
+		}
+		if err := svc.KVCreate(ctx, s, fsproto.KVCreateRequest{
+			Store: "kv", Size: 16 * 4096, Seq: seqs.take(s.gid),
+		}); err != nil {
+			t.Fatalf("kv create %s: %v", tn, err)
+		}
+		for i := 0; i < 6; i++ {
+			if err := svc.KVPut(ctx, s, fsproto.KVPutRequest{
+				Store: "kv", Key: uint64(i), Value: bytes.Repeat([]byte{byte(i)}, 64),
+				Seq: seqs.take(s.gid),
+			}); err != nil {
+				t.Fatalf("kv put %s/%d: %v", tn, i, err)
+			}
+		}
+		pl, err := svc.Read(ctx, s, fsproto.ReadRequest{Name: "data.bin", Length: 4096, Seq: seqs.take(s.gid)})
+		if err != nil {
+			t.Fatalf("read %s: %v", tn, err)
+		}
+		pl.Release()
+	}
+	// Cross-tenant denial: tA probing tB's file with the wrong passphrase
+	// lands (and is journaled) on tB's shard, in schedule order.
+	err := svc.Write(ctx, sess[tA], fsproto.WriteRequest{
+		Name: "data.bin", Tenant: tB, Data: []byte{1}, Passphrase: "wrong",
+		Seq: seqs.take(fsproto.TenantGID(tB)),
+	})
+	if err == nil {
+		t.Fatal("cross-tenant write with wrong passphrase must fail")
+	}
+	return sess
+}
+
+func promBytes(t *testing.T, sh *Shard) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sh.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatalf("prometheus export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayRebuildsShard freezes a logged deterministic shard, exports
+// its state, and installs it into a second (empty) node: the replayed
+// shard must reproduce the source's Merkle root, pass the recovery gate,
+// serve the migrated sessions, and emit a byte-identical /shards.prom
+// section.
+func TestReplayRebuildsShard(t *testing.T) {
+	optsA := clusterTestOptions()
+	svcA := New(optsA)
+	defer svcA.Close()
+	taken := map[string]bool{}
+	tA := tenantOnShard(t, 0, 2, taken)
+	tB := tenantOnShard(t, 1, 2, taken)
+	seqs := newSeqFor(2)
+	sess := runReplayWorkload(t, svcA, seqs, tA, tB)
+
+	// Freeze + export shard 1 (tB's home).
+	mig, err := svcA.FreezeShard(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	st, err := mig.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if len(st.Records) == 0 || st.Image == nil {
+		t.Fatalf("export is empty: %d records, image=%v", len(st.Records), st.Image)
+	}
+	srcProm := promBytes(t, svcA.Shards()[1])
+
+	// Install on node B, which owns nothing yet.
+	optsB := clusterTestOptions()
+	optsB.OwnedShards = []int{}
+	optsB.ClusterShards = 2
+	optsB.TokenPrefix = "b"
+	svcB := New(optsB)
+	defer svcB.Close()
+	if err := svcB.InstallShard(st); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	shB := svcB.Shards()[0]
+	if shB.ID() != 1 {
+		t.Fatalf("installed shard has id %d, want 1", shB.ID())
+	}
+	if got := promBytes(t, shB); !bytes.Equal(got, srcProm) {
+		t.Fatalf("replayed shard snapshot differs from source:\n--- source ---\n%s\n--- replayed ---\n%s", srcProm, got)
+	}
+	mig.Commit(1)
+	svcA.SetClusterEpoch(1)
+
+	// The migrated session keeps working on the new node with its old
+	// token, continuing the deterministic schedule where the source
+	// stopped.
+	sB, err := svcB.session(sess[tB].Token())
+	if err != nil {
+		t.Fatalf("migrated session not found on target: %v", err)
+	}
+	seq := st.DetNext
+	pl, err := svcB.Read(context.Background(), sB, fsproto.ReadRequest{Name: "data.bin", Length: 4096, Seq: &seq})
+	if err != nil {
+		t.Fatalf("post-migration read: %v", err)
+	}
+	defer pl.Release()
+	want := bytes.Repeat([]byte{byte(len(tB))}, 4096)
+	if !bytes.Equal(pl.Data, want) {
+		t.Fatalf("post-migration read returned wrong bytes")
+	}
+
+	// The source answers the tombstoned token with the routing error.
+	if _, err := svcA.session(sess[tB].Token()); err == nil {
+		t.Fatal("source still resolves the migrated session")
+	} else if wse, ok := err.(*WrongShardError); !ok || wse.Shard != 1 {
+		t.Fatalf("want WrongShardError{Shard:1}, got %v", err)
+	}
+	// And routes the tenant's shard with the same error.
+	if _, err := svcA.shardFor(fsproto.TenantGID(tB)); err == nil {
+		t.Fatal("source still owns the migrated shard")
+	}
+}
+
+// TestReplayDivergenceDetected corrupts one logged write and checks the
+// next checkpoint catches the replica's divergence.
+func TestReplayDivergenceDetected(t *testing.T) {
+	opts := clusterTestOptions()
+	svcA := New(opts)
+	defer svcA.Close()
+	taken := map[string]bool{}
+	tA := tenantOnShard(t, 0, 2, taken)
+	tB := tenantOnShard(t, 1, 2, taken)
+	seqs := newSeqFor(2)
+	runReplayWorkload(t, svcA, seqs, tA, tB)
+	mig, err := svcA.FreezeShard(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	st, err := mig.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	mig.Resume()
+	// Flip a byte inside the first logged write's payload.
+	tampered := false
+	for i := range st.Records {
+		if st.Records[i].Kind == "write" && len(st.Records[i].Req) > 0 {
+			raw := append([]byte(nil), st.Records[i].Req...)
+			if j := bytes.Index(raw, []byte(`"data"`)); j >= 0 && j+20 < len(raw) {
+				raw[j+10] ^= 1
+				st.Records[i].Req = raw
+				tampered = true
+				break
+			}
+		}
+	}
+	if !tampered {
+		t.Skip("no tamperable write record found")
+	}
+	optsB := clusterTestOptions()
+	optsB.OwnedShards = []int{}
+	optsB.TokenPrefix = "b"
+	svcB := New(optsB)
+	defer svcB.Close()
+	if err := svcB.InstallShard(st); err == nil {
+		t.Fatal("install of a tampered log must fail")
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,7 +53,52 @@ type Options struct {
 	// SLOObjective is the target good-request fraction feeding the
 	// burn-rate gauges (0 uses DefaultSLOObjective).
 	SLOObjective float64
+
+	// ClusterShards is the global number of shards in the cluster routing
+	// space (0: standalone, equal to Shards). Tenant placement always
+	// hashes over this count so every node of a cluster routes identically.
+	ClusterShards int
+	// OwnedShards lists the global shard indices this node boots and owns
+	// (nil: 0..Shards-1, the standalone layout).
+	OwnedShards []int
+	// TokenPrefix namespaces session tokens per node ("" = "t") so tokens
+	// minted on different nodes of one cluster never collide — a migrated
+	// session keeps its token on the new owner.
+	TokenPrefix string
+	// ChipSeqBase, when non-zero, boots global shard i with controller chip
+	// sequence ChipSeqBase+i. Every node of a cluster must share the base:
+	// migration targets and replicas must derive the source's exact
+	// processor keys, or neither ciphertext nor sealed OTT records would
+	// authenticate. Zero keeps per-process auto sequences (standalone).
+	ChipSeqBase uint64
+	// AdmissionLog records every admitted request into its shard's
+	// admission log — the replay substrate of migration and replication.
+	AdmissionLog bool
+	// CheckpointEvery folds a Merkle-root checkpoint into the admission log
+	// every N operation records (0: only at migration freeze).
+	CheckpointEvery int
 }
+
+// DefaultChipSeqBase is the conventional cluster-wide chip sequence base
+// (any agreed-upon non-zero value works; nodes must just share it).
+const DefaultChipSeqBase = 0xf5e0c000
+
+// WrongShardError reports a request routed to a node that does not (or no
+// longer) own(s) the target shard at this node's routing-table epoch. The
+// HTTP layer maps it to 421 + CodeEpochMismatch; cluster-aware clients
+// refresh their table and retry at the owner.
+type WrongShardError struct {
+	Shard int
+	Epoch uint64
+}
+
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("server: shard %d not owned here (epoch %d)", e.Shard, e.Epoch)
+}
+
+// ErrDiverged reports an admission-log replay whose regenerated state
+// disagrees with the source — a checkpoint or image Merkle root mismatch.
+var ErrDiverged = errors.New("server: admission-log replay diverged")
 
 // Session is one authenticated tenant session.
 type Session struct {
@@ -68,8 +116,24 @@ type Session struct {
 // Service is the multi-tenant file service: the shard pool, the session
 // table, and the host-side observability registry.
 type Service struct {
-	opts   Options
-	shards []*Shard
+	opts Options
+	// nShards is the global routing shard count; shards holds the owned
+	// shards ordered by global index and byIdx maps global index -> shard.
+	// Both are guarded by mu: cluster membership changes at migration.
+	nShards int
+	shards  []*Shard
+	byIdx   map[int]*Shard
+	// retiredShards keeps post-migration source shards alive (they answer
+	// stragglers with the routing error) until Close.
+	retiredShards []*Shard
+
+	// epoch is the routing-table epoch this node serves at; fwd holds the
+	// Forwarder used to proxy misrouted requests to their owner.
+	epoch  atomic.Uint64
+	gEpoch *telemetry.Gauge
+	cFwd   *telemetry.Counter
+	fwd    atomic.Value
+	fwdHC  *http.Client
 
 	// reg is the host-side registry: request latencies in wall-clock
 	// nanoseconds, queue depths, denial counters. Deliberately separate
@@ -92,14 +156,24 @@ type Service struct {
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
-	closed   bool
-	tokSeq   atomic.Uint64
+	// moved tombstones tokens whose home shard migrated away: token ->
+	// global shard index, answered with WrongShardError so the client
+	// re-routes instead of seeing "unknown token".
+	moved  map[string]int
+	closed bool
+	tokSeq atomic.Uint64
 }
 
 // New builds the service and boots its shards.
 func New(opts Options) *Service {
 	if opts.Shards <= 0 {
 		opts.Shards = 1
+	}
+	if opts.ClusterShards <= 0 {
+		opts.ClusterShards = opts.Shards
+	}
+	if opts.TokenPrefix == "" {
+		opts.TokenPrefix = "t"
 	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = DefaultRequestTimeout
@@ -129,23 +203,153 @@ func New(opts Options) *Service {
 		slo:       newSLOTable(reg),
 		traceBase: 0x66_73_65_6e_63_72, // "fsencr": fixed, IDs still unique via traceSeq
 		sessions:  make(map[string]*Session),
+		moved:     make(map[string]int),
+		nShards:   opts.ClusterShards,
+		byIdx:     make(map[int]*Shard),
+		gEpoch:    reg.Gauge("cluster.epoch"),
+		cFwd:      reg.Counter("server.forwarded_total"),
+		fwdHC:     &http.Client{Timeout: opts.RequestTimeout},
 	}
-	for i := 0; i < opts.Shards; i++ {
-		svc.shards = append(svc.shards,
-			NewShard(i, cfg, opts.MCMode, opts.Access, opts.Deterministic, opts.PerTenantQueue, reg))
+	owned := opts.OwnedShards
+	if owned == nil {
+		for i := 0; i < opts.Shards; i++ {
+			owned = append(owned, i)
+		}
 	}
+	for _, i := range owned {
+		sh := NewShardWith(i, cfg, opts.MCMode, opts.Access, opts.Deterministic, opts.PerTenantQueue, reg,
+			ShardOptions{ChipSeq: chipSeqFor(opts, i), Log: opts.AdmissionLog, CheckpointEvery: opts.CheckpointEvery})
+		svc.byIdx[i] = sh
+		svc.shards = append(svc.shards, sh)
+	}
+	sortShards(svc.shards)
 	return svc
 }
 
-// Shards exposes the shard pool (tests, in-process inspection).
-func (svc *Service) Shards() []*Shard { return svc.shards }
+// chipSeqFor derives global shard i's controller chip sequence.
+func chipSeqFor(opts Options, i int) uint64 {
+	if opts.ChipSeqBase == 0 {
+		return 0
+	}
+	return opts.ChipSeqBase + uint64(i)
+}
+
+func sortShards(shards []*Shard) {
+	sort.Slice(shards, func(i, j int) bool { return shards[i].id < shards[j].id })
+}
+
+// Shards exposes the owned shard pool ordered by global index (tests,
+// in-process inspection).
+func (svc *Service) Shards() []*Shard { return svc.shardList() }
+
+// shardList snapshots the owned shards under the lock; membership changes
+// at migration.
+func (svc *Service) shardList() []*Shard {
+	svc.mu.RLock()
+	defer svc.mu.RUnlock()
+	out := make([]*Shard, len(svc.shards))
+	copy(out, svc.shards)
+	return out
+}
+
+// NShards returns the global routing shard count.
+func (svc *Service) NShards() int { return svc.nShards }
 
 // Registry exposes the host-side registry.
 func (svc *Service) Registry() *telemetry.Registry { return svc.reg }
 
-// shardFor places a tenant group on its shard.
-func (svc *Service) shardFor(gid uint32) *Shard {
-	return svc.shards[fsproto.ShardIndex(gid, len(svc.shards))]
+// shardFor places a tenant group on its shard, or reports the routing
+// error when the shard lives on another node.
+func (svc *Service) shardFor(gid uint32) (*Shard, error) {
+	idx := fsproto.ShardIndex(gid, svc.nShards)
+	svc.mu.RLock()
+	sh := svc.byIdx[idx]
+	svc.mu.RUnlock()
+	if sh == nil {
+		return nil, &WrongShardError{Shard: idx, Epoch: svc.epoch.Load()}
+	}
+	return sh, nil
+}
+
+// SetClusterEpoch publishes the routing-table epoch this node serves at:
+// 421 responses carry it and the cluster.epoch gauge lands on /metrics.
+func (svc *Service) SetClusterEpoch(e uint64) {
+	svc.epoch.Store(e)
+	svc.gEpoch.Set(e)
+}
+
+// ClusterEpoch returns the published routing-table epoch.
+func (svc *Service) ClusterEpoch() uint64 { return svc.epoch.Load() }
+
+// Forwarder resolves a global shard index to the base URL of its owning
+// node ("" or !ok: unknown — answer 421 and let the client re-route).
+type Forwarder func(shard int) (base string, ok bool)
+
+// SetForwarder installs the owner lookup used to proxy misrouted requests
+// during a migration's cutover window.
+func (svc *Service) SetForwarder(f Forwarder) { svc.fwd.Store(f) }
+
+func (svc *Service) forwarder() Forwarder {
+	if f, ok := svc.fwd.Load().(Forwarder); ok {
+		return f
+	}
+	return nil
+}
+
+// AdoptShard registers a shard (typically rehydrated from a migration's
+// exported state) under its global index, folding sessions reconstructed
+// during replay into the service session table. The caller starts the
+// shard afterwards.
+func (svc *Service) AdoptShard(sh *Shard) error {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if svc.closed {
+		return ErrDraining
+	}
+	if _, ok := svc.byIdx[sh.id]; ok {
+		return fmt.Errorf("server: shard %d already owned", sh.id)
+	}
+	svc.byIdx[sh.id] = sh
+	svc.shards = append(svc.shards, sh)
+	sortShards(svc.shards)
+	for tok, s := range sh.replaySessions {
+		if _, exists := svc.sessions[tok]; !exists {
+			svc.sessions[tok] = s
+		}
+		// The token came home (e.g. a shard migrating back): clear any
+		// tombstone left by a previous departure.
+		delete(svc.moved, tok)
+	}
+	sh.replaySessions = make(map[string]*Session)
+	return nil
+}
+
+// RemoveShard unregisters a shard after migration cutover. Sessions homed
+// on it are tombstoned (their tokens answer with the routing error) and
+// the shard is parked on the retired list so Close still drains its
+// worker. Returns nil if the shard is not owned here.
+func (svc *Service) RemoveShard(idx int) *Shard {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	sh := svc.byIdx[idx]
+	if sh == nil {
+		return nil
+	}
+	delete(svc.byIdx, idx)
+	for i, s := range svc.shards {
+		if s == sh {
+			svc.shards = append(svc.shards[:i], svc.shards[i+1:]...)
+			break
+		}
+	}
+	svc.retiredShards = append(svc.retiredShards, sh)
+	for tok, s := range svc.sessions {
+		if fsproto.ShardIndex(s.gid, svc.nShards) == idx {
+			delete(svc.sessions, tok)
+			svc.moved[tok] = idx
+		}
+	}
+	return sh
 }
 
 // Login authenticates (tenant, uid, passphrase) and opens a session. The
@@ -157,34 +361,39 @@ func (svc *Service) Login(ctx context.Context, tenant string, uid uint32, passph
 	}
 	gid := fsproto.TenantGID(tenant)
 	euid := fsproto.UserUID(tenant, uid)
-	sh := svc.shardFor(gid)
-	_, err := sh.DoTraced(ctx, gid, seq, "login", TraceFromContext(ctx), func() (any, error) {
-		registered, ok := sh.Sys.Keyring.Verify(euid, passphrase)
-		if registered && !ok {
-			sh.Jrn.Emit(journal.Event{
-				Cycle:  uint64(sh.Sys.M.MaxCoreTime()),
-				Type:   journal.AuthFailure,
-				Group:  gid,
-				Detail: fmt.Sprintf("tenant %s uid %d", tenant, uid),
-			})
-			svc.cAuthFail.Inc()
-			return nil, fmt.Errorf("%w: tenant %s uid %d", ErrAuth, tenant, uid)
+	sh, err := svc.shardFor(gid)
+	if err != nil {
+		return nil, err
+	}
+	// Mint the token before admission so the login's admission-log record
+	// carries it: replaying the record rebinds the same token to the same
+	// credentials on a migration target or replica.
+	token := fmt.Sprintf("%s%d", svc.opts.TokenPrefix, svc.tokSeq.Add(1))
+	tc := TraceFromContext(ctx)
+	var rec *fsproto.LogRecord
+	if sh.logOn {
+		rec = buildRecord("login", gid, seq, nil, tc,
+			fsproto.LoginRequest{Tenant: tenant, UID: uid, Passphrase: passphrase})
+		if rec != nil {
+			rec.Token = token
+			rec.Tenant = tenant
+			rec.EUID = euid
+			rec.Pass = passphrase
 		}
-		if !registered {
-			sh.Sys.Keyring.Login(euid, passphrase)
-		}
-		return nil, nil
+	}
+	_, err = sh.submit(ctx, gid, seq, "login", tc, rec, func() (any, error) {
+		return svc.workLogin(sh, gid, tenant, uid, passphrase)
 	})
 	if err != nil {
 		return nil, err
 	}
 	sess := &Session{
-		token:  fmt.Sprintf("t%d", svc.tokSeq.Add(1)),
+		token:  token,
 		tenant: tenant,
 		gid:    gid,
 		uid:    euid,
 		pass:   passphrase,
-		st:     make([]*sessState, len(svc.shards)),
+		st:     make([]*sessState, svc.nShards),
 	}
 	// Register the tenant on the SLO plane at first login so its gauges
 	// exist (at zero) before any op traffic.
@@ -196,6 +405,27 @@ func (svc *Service) Login(ctx context.Context, tenant string, uid uint32, passph
 	}
 	svc.sessions[sess.token] = sess
 	return sess, nil
+}
+
+// workLogin is the worker-side login body, shared by live admission and
+// admission-log replay.
+func (svc *Service) workLogin(sh *Shard, gid uint32, tenant string, uid uint32, passphrase string) (any, error) {
+	euid := fsproto.UserUID(tenant, uid)
+	registered, ok := sh.Sys.Keyring.Verify(euid, passphrase)
+	if registered && !ok {
+		sh.Jrn.Emit(journal.Event{
+			Cycle:  uint64(sh.Sys.M.MaxCoreTime()),
+			Type:   journal.AuthFailure,
+			Group:  gid,
+			Detail: fmt.Sprintf("tenant %s uid %d", tenant, uid),
+		})
+		svc.cAuthFail.Inc()
+		return nil, fmt.Errorf("%w: tenant %s uid %d", ErrAuth, tenant, uid)
+	}
+	if !registered {
+		sh.Sys.Keyring.Login(euid, passphrase)
+	}
+	return nil, nil
 }
 
 // Logout closes a session. The keyring registration stays: it is the
@@ -212,6 +442,9 @@ func (svc *Service) session(token string) (*Session, error) {
 	defer svc.mu.RUnlock()
 	s, ok := svc.sessions[token]
 	if !ok {
+		if idx, moved := svc.moved[token]; moved {
+			return nil, &WrongShardError{Shard: idx, Epoch: svc.epoch.Load()}
+		}
 		return nil, errBadToken
 	}
 	return s, nil
@@ -221,6 +454,42 @@ func (svc *Service) session(token string) (*Session, error) {
 // in-process).
 func (s *Session) Token() string { return s.token }
 
+// peerSession admits a forwarded request whose session is homed on the
+// forwarding node: a fabric peer vouches for the identity in the peer
+// headers (the same trust the admission-log replayer extends to record
+// credentials), and the session registers here as a shadow so repeated
+// forwards reuse its per-shard state. Tenant-level authorization is
+// unaffected — it comes from the request body's passphrase.
+func (svc *Service) peerSession(r *http.Request) (*Session, error) {
+	tenant := r.Header.Get(fsproto.PeerTenantHeader)
+	token := r.Header.Get(fsproto.TokenHeader)
+	if r.Header.Get(fsproto.ForwardedHeader) == "" || tenant == "" || token == "" {
+		return nil, errBadToken
+	}
+	uid, err := strconv.ParseUint(r.Header.Get(fsproto.PeerUIDHeader), 10, 32)
+	if err != nil {
+		return nil, errBadToken
+	}
+	sess := &Session{
+		token:  token,
+		tenant: tenant,
+		gid:    fsproto.TenantGID(tenant),
+		uid:    uint32(uid),
+		pass:   r.Header.Get(fsproto.PeerPassHeader),
+		st:     make([]*sessState, svc.nShards),
+	}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if svc.closed {
+		return nil, ErrDraining
+	}
+	if s, ok := svc.sessions[token]; ok {
+		return s, nil
+	}
+	svc.sessions[token] = sess
+	return sess, nil
+}
+
 // MetricsSnapshot merges the host-side registry with every shard's
 // deterministic registry, in shard order. Aggregate only — per-shard
 // snapshots are served separately so their byte-identity is checkable.
@@ -228,7 +497,8 @@ func (s *Session) Token() string { return s.token }
 // shard and the total number of journal events dropped to ring overflow.
 func (svc *Service) MetricsSnapshot() *telemetry.Snapshot {
 	drops := uint64(0)
-	for _, sh := range svc.shards {
+	shards := svc.shardList()
+	for _, sh := range shards {
 		svc.reg.Gauge(fmt.Sprintf("server.shard%d.audit_head_seq", sh.ID())).Set(sh.Aud.HeadSeq())
 		drops += sh.Jrn.Drops()
 	}
@@ -236,7 +506,7 @@ func (svc *Service) MetricsSnapshot() *telemetry.Snapshot {
 	out := svc.reg.Snapshot()
 	out.Runs = 1
 	svc.injectSLOGauges(out)
-	for _, sh := range svc.shards {
+	for _, sh := range shards {
 		out.Merge(sh.Snapshot())
 	}
 	return out
@@ -249,7 +519,7 @@ func (svc *Service) AuditRecords() []audit.Record {
 	ctx, cancel := context.WithTimeout(context.Background(), svc.opts.RequestTimeout)
 	defer cancel()
 	var out []audit.Record
-	for _, sh := range svc.shards {
+	for _, sh := range svc.shardList() {
 		sh := sh
 		_ = svc.doSideOrClosed(ctx, sh, func() {
 			recs := sh.Aud.Records()
@@ -267,7 +537,7 @@ func (svc *Service) AuditRecords() []audit.Record {
 func (svc *Service) VerifyAudit() error {
 	ctx, cancel := context.WithTimeout(context.Background(), svc.opts.RequestTimeout)
 	defer cancel()
-	for _, sh := range svc.shards {
+	for _, sh := range svc.shardList() {
 		var verr error
 		if err := svc.doSideOrClosed(ctx, sh, func() { verr = sh.Aud.Verify() }); err != nil {
 			return err
@@ -295,7 +565,7 @@ func (svc *Service) doSideOrClosed(ctx context.Context, sh *Shard, fn func()) er
 // reassigning global sequence numbers.
 func (svc *Service) JournalEvents() []journal.Event {
 	var out []journal.Event
-	for _, sh := range svc.shards {
+	for _, sh := range svc.shardList() {
 		out = append(out, sh.Jrn.Events()...)
 	}
 	for i := range out {
@@ -310,8 +580,11 @@ func (svc *Service) Close() {
 	svc.mu.Lock()
 	svc.closed = true
 	svc.sessions = make(map[string]*Session)
+	shards := append([]*Shard(nil), svc.shards...)
+	shards = append(shards, svc.retiredShards...)
+	svc.retiredShards = nil
 	svc.mu.Unlock()
-	for _, sh := range svc.shards {
+	for _, sh := range shards {
 		sh.Close()
 	}
 }

@@ -72,6 +72,9 @@ type task struct {
 	// only): the start of the measurable queue wait. Deterministic mode
 	// leaves it 0 — arrival interleaving is not schedule state there.
 	enq uint64
+	// rec, when non-nil, is the admission-log record the worker appends
+	// after executing the task (cluster mode).
+	rec *fsproto.LogRecord
 }
 
 // sideTask is out-of-band worker work; done is closed after fn ran.
@@ -127,6 +130,26 @@ type Shard struct {
 
 	stop    chan struct{}
 	stopped chan struct{}
+	started atomic.Bool
+
+	// Cluster plane. chipSeq is the controller key-derivation sequence the
+	// shard booted with (0: per-process auto). logOn enables the admission
+	// log; recs and the checkpoint/schedule cursors below are worker-only
+	// (readers go through DoSide or a Hold). detNext is the next
+	// deterministic schedule sequence — a field rather than a loop local so
+	// a shard rehydrated by log replay continues the schedule exactly where
+	// the source stopped. retired, once set, is answered to every task
+	// instead of executing it: the shard has migrated away.
+	chipSeq   uint64
+	logOn     bool
+	recs      []fsproto.LogRecord
+	ckptEvery int
+	sinceCkpt int
+	detNext   uint64
+	retired   error
+	// replaySessions stages sessions reconstructed from login records
+	// during replay; AdoptShard folds them into the service session table.
+	replaySessions map[string]*Session
 }
 
 // traceKeepEvery is the tail sampler's probabilistic keep rate for traces
@@ -139,10 +162,31 @@ const traceKeepEvery = 8
 // host-side (non-deterministic) registry receiving the shard's queue-depth
 // gauge; nil is allowed.
 func NewShard(id int, cfg config.Config, mode memctrl.Mode, access kernel.AccessMode, deterministic bool, perTenant int, serverReg *telemetry.Registry) *Shard {
+	return NewShardWith(id, cfg, mode, access, deterministic, perTenant, serverReg, ShardOptions{})
+}
+
+// ShardOptions carries the cluster-plane knobs of a shard.
+type ShardOptions struct {
+	// ChipSeq is the controller key-derivation sequence (0: auto). Cluster
+	// shards use a deterministic per-global-index sequence so migration
+	// targets and replicas derive the source's exact processor keys.
+	ChipSeq uint64
+	// Log enables the admission log (required for migration/replication).
+	Log bool
+	// CheckpointEvery folds a Merkle-root checkpoint into the log every N
+	// operation records (0: checkpoints only at migration freeze).
+	CheckpointEvery int
+	// Detached boots the shard without starting its worker: the caller
+	// replays an admission log into it first, then calls Start.
+	Detached bool
+}
+
+// NewShardWith is NewShard plus cluster-plane options.
+func NewShardWith(id int, cfg config.Config, mode memctrl.Mode, access kernel.AccessMode, deterministic bool, perTenant int, serverReg *telemetry.Registry, so ShardOptions) *Shard {
 	if perTenant <= 0 {
 		perTenant = DefaultPerTenantQueue
 	}
-	sys := kernel.Boot(cfg, mode, access)
+	sys := kernel.BootSeq(cfg, mode, access, so.ChipSeq)
 	reg := telemetry.New()
 	// Attach the trace scope before Instrument: components cache the scope
 	// pointer at Instrument time and it must already be in place.
@@ -168,13 +212,26 @@ func NewShard(id int, cfg config.Config, mode memctrl.Mode, access kernel.Access
 		scope:     scope,
 		sampler: telemetry.NewTailSampler(traceKeepEvery,
 			reg.Counter("trace.kept_total"), reg.Counter("trace.dropped_total")),
-		hQWait:  make(map[uint32]*telemetry.Histogram),
-		hSvc:    make(map[uint32]*telemetry.Histogram),
-		stop:    make(chan struct{}),
-		stopped: make(chan struct{}),
+		hQWait:         make(map[uint32]*telemetry.Histogram),
+		hSvc:           make(map[uint32]*telemetry.Histogram),
+		stop:           make(chan struct{}),
+		stopped:        make(chan struct{}),
+		chipSeq:        so.ChipSeq,
+		logOn:          so.Log,
+		ckptEvery:      so.CheckpointEvery,
+		replaySessions: make(map[string]*Session),
 	}
-	go sh.run()
+	if !so.Detached {
+		sh.Start()
+	}
 	return sh
+}
+
+// Start launches the worker of a detached shard. Idempotent.
+func (sh *Shard) Start() {
+	if sh.started.CompareAndSwap(false, true) {
+		go sh.run()
+	}
 }
 
 // ID returns the shard index.
@@ -211,6 +268,12 @@ func (sh *Shard) Do(ctx context.Context, tenant uint32, seq uint64, fn func() (a
 // (kernel, controller, PCM) are linked into the request's trace, and the
 // tail sampler decides at completion whether the trace is retained.
 func (sh *Shard) DoTraced(ctx context.Context, tenant uint32, seq uint64, name string, tc fsproto.TraceContext, fn func() (any, error)) (any, error) {
+	return sh.submit(ctx, tenant, seq, name, tc, nil, fn)
+}
+
+// submit is DoTraced plus the admission-log record the worker appends
+// after execution (nil: unlogged).
+func (sh *Shard) submit(ctx context.Context, tenant uint32, seq uint64, name string, tc fsproto.TraceContext, rec *fsproto.LogRecord, fn func() (any, error)) (any, error) {
 	var release func()
 	if !sh.det {
 		// Fair mode: per-tenant admission slots. Deterministic mode skips
@@ -237,7 +300,7 @@ func (sh *Shard) DoTraced(ctx context.Context, tenant uint32, seq uint64, name s
 	sh.mu.Unlock()
 	sh.gDepth.Set(uint64(sh.depth.Add(1)))
 
-	t := task{seq: seq, tenant: tenant, fn: fn, resp: make(chan taskResult, 1), release: release, name: name, trace: tc}
+	t := task{seq: seq, tenant: tenant, fn: fn, resp: make(chan taskResult, 1), release: release, name: name, trace: tc, rec: rec}
 	select {
 	case sh.ingress <- t:
 	case <-ctx.Done():
@@ -297,6 +360,14 @@ func (sh *Shard) taskDone(t task) {
 }
 
 func (sh *Shard) exec(t task) {
+	if sh.retired != nil {
+		// The shard migrated away after this task was admitted: answer with
+		// the routing error so the client retries at the new owner. The task
+		// never executed, so the retry cannot duplicate work.
+		t.resp <- taskResult{err: sh.retired}
+		sh.taskDone(t)
+		return
+	}
 	v, err := sh.serve(t)
 	t.resp <- taskResult{v: v, err: err}
 	sh.cServed.Inc()
@@ -341,6 +412,10 @@ func (sh *Shard) serve(t task) (any, error) {
 		sh.scope.Exit("request", t.name, rootStart, end, 0)
 		sh.scope.End(sh.sampler.Keep(t.trace.TraceID, end-rootStart, err != nil))
 	}
+	if t.rec != nil && sh.logOn {
+		sh.appendRecord(*t.rec)
+		sh.maybeCheckpoint()
+	}
 	return v, err
 }
 
@@ -358,11 +433,18 @@ func (sh *Shard) run() {
 // synchronous clients keep it at most one entry per client.
 func (sh *Shard) runDeterministic() {
 	pending := make(map[uint64]task)
-	next := uint64(0)
 	for {
-		if t, ok := pending[next]; ok {
-			delete(pending, next)
-			next++
+		if sh.retired != nil {
+			// A retired shard answers everything immediately: sequence gaps
+			// no longer matter because nothing executes.
+			for s, t := range pending {
+				delete(pending, s)
+				sh.exec(t)
+			}
+		}
+		if t, ok := pending[sh.detNext]; ok {
+			delete(pending, sh.detNext)
+			sh.detNext++
 			sh.exec(t)
 			continue
 		}
