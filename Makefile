@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race malice-race slo-smoke chaos chaos-ci migration-chaos cluster-smoke cluster-smoke-race ci
+.PHONY: build test race vet bench bench-json bench-check overhead-guard smoke smoke-race read-smoke read-smoke-race malice-race slo-smoke chaos chaos-ci migration-chaos cluster-smoke cluster-smoke-race ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,18 @@ smoke:
 
 smoke-race:
 	$(GO) test -race -run 'TestFsencrdSmoke' -v ./internal/server
+
+# Concurrent-read smoke: a fair-mode fsencrd under a read-heavy mixed load
+# (reads, writes, stats, cross-tenant probes) over real HTTP — zero lost
+# ops, zero leaks, the snapshot fast-path actually serving traffic, the
+# per-tenant latency split populated, and the audit chain verifying after
+# the deferred read deltas drain. The equivalence/gating/fan-out tests of
+# the fast path ride along.
+read-smoke:
+	$(GO) test -run 'TestReadSmoke|TestConcurrentReadEquivalence|TestFastReadFanned|TestFastReadGating|TestSerialReadsEquivalence|TestStatOps|TestBusyQueueDepthHeader' -v ./internal/server
+
+read-smoke-race:
+	$(GO) test -race -run 'TestReadSmoke|TestConcurrentReadEquivalence' -v ./internal/server
 
 # Malicious-client smoke under the race detector: forged/replayed tokens,
 # cross-tenant overrides, oversized/forged requests — every attack refused
@@ -83,6 +95,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' ./internal/merkle
 	$(GO) test -run '^$$' -bench . ./internal/aesctr
 	$(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore
+	$(GO) test -run '^$$' -bench 'ServerReadPath|ServerParallelRead' ./internal/server
 
 # Machine-readable perf baseline: the same hot-path benchmarks, folded
 # into BENCH_baseline.json as {"pkg.Benchmark": {iterations, ns_per_op}}
@@ -93,6 +106,7 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' ./internal/merkle ; \
 	  $(GO) test -run '^$$' -bench . ./internal/aesctr ; \
 	  $(GO) test -run '^$$' -bench 'Put|Get' ./internal/kvstore ; \
+	  $(GO) test -run '^$$' -bench 'ServerReadPath|ServerParallelRead' ./internal/server ; \
 	} | awk ' \
 	  /^pkg:/ { pkg = $$2 } \
 	  /^Benchmark/ { \
@@ -114,6 +128,7 @@ bench-check:
 	  $(GO) test -run '^$$' -bench 'MerkleUpdate|MerkleFlush' -count 3 ./internal/merkle ; \
 	  $(GO) test -run '^$$' -bench . -count 3 ./internal/aesctr ; \
 	  $(GO) test -run '^$$' -bench 'Put|Get' -count 3 ./internal/kvstore ; \
+	  $(GO) test -run '^$$' -bench 'ServerReadPath|ServerParallelRead' -count 3 ./internal/server ; \
 	} | $(GO) run ./cmd/fsencr-bench -check BENCH_baseline.json -tolerance 0.15
 
 # Telemetry-overhead gate: with no registry attached (the no-op recorder)
@@ -129,7 +144,11 @@ bench-check:
 # request-trace plane the same way: with no trace active (scope nil or
 # idle), a page op's worth of Active() gates must stay under 3% of
 # ReadPage/WritePage. See internal/memctrl/overhead_guard_test.go.
+# TestReadScalingGuard is the concurrent-read gate: on >= 4-core hosts,
+# 8 readers on one shard must sustain >= 2x single-reader throughput
+# through the snapshot fast-path (skipped on smaller hosts).
 overhead-guard:
 	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard|TestWriteLineGapGuard|TestPageGapGuard|TestAuditOverheadGuard|TestTraceOverheadGuard' -v ./internal/memctrl
+	FSENCR_OVERHEAD_GUARD=1 $(GO) test -run 'TestReadScalingGuard' -v ./internal/server
 
-ci: build vet test smoke race malice-race slo-smoke chaos-ci cluster-smoke cluster-smoke-race migration-chaos overhead-guard bench-check
+ci: build vet test smoke race read-smoke read-smoke-race malice-race slo-smoke chaos-ci cluster-smoke cluster-smoke-race migration-chaos overhead-guard bench-check

@@ -82,6 +82,7 @@ func serveMain(args []string) {
 		shards    = fl.Int("shards", 4, "number of simulated machines")
 		scheme    = fl.String("scheme", "fsencr", "protection scheme: plain|baseline|fsencr|swencr")
 		det       = fl.Bool("det", false, "deterministic admission (requests carry schedule sequence numbers)")
+		serialRd  = fl.Bool("serial-reads", false, "disable the concurrent read fast-path (serialized A/B baseline)")
 		perTenant = fl.Int("per-tenant-queue", server.DefaultPerTenantQueue, "per-tenant admitted-request bound (backpressure)")
 		timeout   = fl.Duration("timeout", server.DefaultRequestTimeout, "per-request queue+execute bound")
 		drain     = fl.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
@@ -100,6 +101,7 @@ func serveMain(args []string) {
 		MCMode:         sc.MCMode(),
 		Access:         sc.AccessMode(),
 		Deterministic:  *det,
+		SerialReads:    *serialRd,
 		PerTenantQueue: *perTenant,
 		RequestTimeout: *timeout,
 	}
@@ -182,6 +184,7 @@ func loadgenMain(args []string) {
 		det     = fl.Bool("det", false, "assign schedule sequence numbers (server must run -det)")
 		shards  = fl.Int("shards", 4, "with -det: the server's shard count")
 		cross   = fl.Int("cross-every", 8, "every Nth op probes another tenant's file (0 disables)")
+		statEv  = fl.Int("stat-every", 0, "every Nth op stats the client's own file (0 disables)")
 		malice  = fl.Bool("malice", false, "run the malicious-client attack campaign instead of the load mix")
 		asJSON  = fl.Bool("json", false, "emit the report as JSON instead of text")
 		coord   = fl.String("coordinator", "", "route clients through this coordinator's placement table (cluster mode; incompatible with -det)")
@@ -219,6 +222,7 @@ func loadgenMain(args []string) {
 		Deterministic: *det,
 		Shards:        *shards,
 		CrossEvery:    *cross,
+		StatEvery:     *statEv,
 		Coordinator:   *coord,
 	})
 	if err != nil {

@@ -80,6 +80,14 @@ func New(key Key, latency config.Cycle) *Engine {
 // Latency returns the engine's AES latency in cycles.
 func (e *Engine) Latency() config.Cycle { return e.latency }
 
+// Fork returns an engine sharing this one's key schedule but with its own
+// counter-block buffer, so a reader goroutine can generate OTPs
+// concurrently with the owner. cipher.Block is stateless after key
+// expansion; only the ctr scratch makes Engine single-goroutine.
+func (e *Engine) Fork() *Engine {
+	return &Engine{block: e.block, latency: e.latency}
+}
+
 // Line is one 64-byte cache line.
 type Line [config.LineSize]byte
 

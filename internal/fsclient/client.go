@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"fsencr/internal/fsproto"
@@ -36,6 +37,10 @@ type APIError struct {
 	// Attempts is how many times the request was sent before this error
 	// came back (1 with retries off).
 	Attempts int
+	// QueueDepth is the rejecting shard's admitted-but-unserved task count
+	// from the X-Fsencr-Queue-Depth hint on 429 responses, or -1 when the
+	// response carried no hint. The retry loop scales its backoff by it.
+	QueueDepth int64
 }
 
 func (e *APIError) Error() string {
@@ -159,7 +164,7 @@ func (c *Client) post(path string, req, out any) error {
 			}
 			return err
 		}
-		time.Sleep(c.backoff(attempts))
+		time.Sleep(c.backoffFor(attempts, err))
 	}
 }
 
@@ -192,7 +197,14 @@ func (c *Client) send(path string, body []byte, tc fsproto.TraceContext, out any
 		if json.Unmarshal(data, &pe) != nil || pe.Code == "" {
 			pe = fsproto.Error{Code: fsproto.CodeInternal, Message: string(data)}
 		}
-		return &APIError{Status: resp.StatusCode, Code: pe.Code, Message: pe.Message, RequestID: c.LastRequestID}
+		ae := &APIError{Status: resp.StatusCode, Code: pe.Code, Message: pe.Message,
+			RequestID: c.LastRequestID, QueueDepth: -1}
+		if v := resp.Header.Get(fsproto.QueueDepthHeader); v != "" {
+			if depth, perr := strconv.ParseInt(v, 10, 64); perr == nil && depth >= 0 {
+				ae.QueueDepth = depth
+			}
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -220,6 +232,38 @@ func needsReroute(err error) bool {
 	}
 	var ue *url.Error
 	return errors.As(err, &ue)
+}
+
+// queueDepthScale converts a 429 queue-depth hint into backoff growth: the
+// hinted delay reaches one extra BaseDelay per queueDepthScale queued tasks.
+// With the default per-tenant queue of 64 a full queue backs off ~5x
+// BaseDelay — still far gentler than a few exponential doublings.
+const queueDepthScale = 16
+
+// backoffFor picks the sleep before re-send n+1. A 429 that carries the
+// server's queue-depth hint gets a depth-proportional delay instead of the
+// exponential curve: a read burst bouncing off a shallow, already-draining
+// queue retries almost immediately, while a deep queue (genuine
+// congestion) waits longer. Transport faults and unhinted errors say
+// nothing about server load, so they keep the conservative exponential.
+func (c *Client) backoffFor(attempt int, err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests && ae.QueueDepth >= 0 {
+		base := c.retry.BaseDelay
+		if base <= 0 {
+			base = 5 * time.Millisecond
+		}
+		maxd := c.retry.MaxDelay
+		if maxd <= 0 {
+			maxd = 250 * time.Millisecond
+		}
+		d := base + base*time.Duration(ae.QueueDepth)/queueDepthScale
+		if d > maxd || d <= 0 {
+			d = maxd
+		}
+		return d/2 + time.Duration(rand.Int64N(int64(d)))
+	}
+	return c.backoff(attempt)
 }
 
 // backoff is the sleep before re-send n+1: exponential from BaseDelay,
@@ -275,6 +319,14 @@ func (c *Client) Read(req fsproto.ReadRequest) ([]byte, error) {
 		return nil, err
 	}
 	return resp.Data, nil
+}
+
+// Stat fetches file metadata. Stat is side-effect free end to end and
+// never consumes a deterministic schedule slot, so it carries no seq.
+func (c *Client) Stat(req fsproto.StatRequest) (fsproto.StatResponse, error) {
+	var resp fsproto.StatResponse
+	err := c.post("/v1/stat", req, &resp)
+	return resp, err
 }
 
 // Write writes and persists a byte range.

@@ -23,6 +23,7 @@ const (
 	lgRead
 	lgCrossRead
 	lgLogout
+	lgStat
 )
 
 // lgOp is one precomputed operation of the load schedule.
@@ -56,6 +57,10 @@ type LoadgenOptions struct {
 	// CrossEvery makes every Nth data op a cross-tenant read probe — the
 	// access the kernel must deny (0 disables; default 8).
 	CrossEvery int
+	// StatEvery makes every Nth data op a metadata stat of the client's own
+	// file (0 disables). Stats never consume a deterministic schedule slot:
+	// the server answers them off the admission plane.
+	StatEvery int
 	// Coordinator, when set, routes every client through the cluster
 	// placement table (DialCluster) instead of the fixed base URL, so the
 	// load follows shards across migrations and failovers. Incompatible
@@ -102,6 +107,7 @@ type LoadgenReport struct {
 
 	Reads  uint64 `json:"reads"`
 	Writes uint64 `json:"writes"`
+	Stats  uint64 `json:"stats"`
 
 	CrossProbes uint64 `json:"cross_probes"` // cross-tenant read attempts
 	CrossDenied uint64 `json:"cross_denied"` // ... denied by permission bits or the per-file key
@@ -119,8 +125,12 @@ type LoadgenReport struct {
 	ElapsedNs uint64  `json:"elapsed_ns"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// Latency breaks throughput and p50/p99 latency down by op kind,
-	// keyed "create" / "write" / "read" / "cross_read".
+	// keyed "create" / "write" / "read" / "cross_read" / "stat".
 	Latency map[string]OpLatency `json:"latency"`
+	// TenantLatency breaks the same distributions down one level further:
+	// tenant name -> op kind -> latency. A noisy neighbor shows up here as
+	// one tenant's p99 diverging from the others' under the same mix.
+	TenantLatency map[string]map[string]OpLatency `json:"tenant_latency"`
 }
 
 // lgKindNames names the timed op kinds for the latency report.
@@ -129,20 +139,39 @@ var lgKindNames = map[int]string{
 	lgWrite:     "write",
 	lgRead:      "read",
 	lgCrossRead: "cross_read",
+	lgStat:      "stat",
 }
+
+// lgKindOrder fixes the rendering order of the latency breakdowns.
+var lgKindOrder = []string{"create", "write", "read", "cross_read", "stat"}
 
 func (r *LoadgenReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "clients %d tenants %d ops %d reads %d writes %d cross-probes %d cross-denied %d busy %d errors %d leaks %d",
 		r.Clients, r.Tenants, r.Ops, r.Reads, r.Writes, r.CrossProbes, r.CrossDenied, r.Busy, r.Errors, r.Leaks)
 	fmt.Fprintf(&b, "\nelapsed %.3fs  %.1f ops/s", float64(r.ElapsedNs)/1e9, r.OpsPerSec)
-	for _, k := range []string{"create", "write", "read", "cross_read"} {
+	for _, k := range lgKindOrder {
 		l, ok := r.Latency[k]
 		if !ok || l.Ops == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "\n%-10s ops %-7d %9.1f ops/s  p50 %9.1fus  p99 %9.1fus",
 			k, l.Ops, l.OpsPerSec, l.P50Us, l.P99Us)
+	}
+	tenants := make([]string, 0, len(r.TenantLatency))
+	for t := range r.TenantLatency {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		for _, k := range lgKindOrder {
+			l, ok := r.TenantLatency[t][k]
+			if !ok || l.Ops == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\n%s/%-10s ops %-7d %9.1f ops/s  p50 %9.1fus  p99 %9.1fus",
+				t, k, l.Ops, l.OpsPerSec, l.P50Us, l.P99Us)
+		}
 	}
 	return b.String()
 }
@@ -237,6 +266,10 @@ func buildSchedule(o LoadgenOptions) [][]lgOp {
 				list = append(list, lgOp{kind: lgCrossRead, victim: victim, n: lgIOSize})
 				continue
 			}
+			if o.StatEvery > 0 && (i+1)%o.StatEvery == 0 {
+				list = append(list, lgOp{kind: lgStat})
+				continue
+			}
 			if rng.Intn(readW+writeW) < readW {
 				off := written[rng.Intn(len(written))]
 				list = append(list, lgOp{kind: lgRead, off: off, n: lgIOSize})
@@ -259,8 +292,8 @@ func buildSchedule(o LoadgenOptions) [][]lgOp {
 				}
 				assigned = true
 				op := &ops[c][round]
-				if op.kind == lgLogout {
-					continue // logout bypasses shard admission
+				if op.kind == lgLogout || op.kind == lgStat {
+					continue // logout and stat bypass shard admission
 				}
 				target := c
 				if op.kind == lgCrossRead {
@@ -292,11 +325,12 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 	rep := &LoadgenReport{Clients: o.Clients, Tenants: o.Tenants}
 
 	var (
-		ops, reads, writes, probes, denied, busy, errs, leaks atomic.Uint64
-		errOnce                                               sync.Once
-		firstErr                                              string
-		latMu                                                 sync.Mutex
-		lats                                                  = map[int][]uint64{} // op kind -> latency ns samples
+		ops, reads, writes, stats, probes, denied, busy, errs, leaks atomic.Uint64
+		errOnce                                                      sync.Once
+		firstErr                                                     string
+		latMu                                                        sync.Mutex
+		lats                                                         = map[int][]uint64{}            // op kind -> latency ns samples
+		tlats                                                        = map[string]map[int][]uint64{} // tenant -> op kind -> samples
 	)
 	noteErr := func(c int, op lgOp, err error) {
 		errs.Add(1)
@@ -339,8 +373,14 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 			local := map[int][]uint64{}
 			defer func() {
 				latMu.Lock()
+				tl := tlats[tenant]
+				if tl == nil {
+					tl = map[int][]uint64{}
+					tlats[tenant] = tl
+				}
 				for k, s := range local {
 					lats[k] = append(lats[k], s...)
+					tl[k] = append(tl[k], s...)
 				}
 				latMu.Unlock()
 			}()
@@ -399,6 +439,17 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 							}
 						}
 					}
+				case lgStat:
+					var resp fsproto.StatResponse
+					resp, err = cl.Stat(fsproto.StatRequest{Name: lgFile(c)})
+					if err == nil {
+						stats.Add(1)
+						if resp.Size != lgFileSize {
+							// The file was created at lgFileSize and never
+							// resized; anything else is corrupt metadata.
+							leaks.Add(1)
+						}
+					}
 				case lgCrossRead:
 					probes.Add(1)
 					_, err = cl.Read(fsproto.ReadRequest{
@@ -441,6 +492,7 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 	rep.Ops = ops.Load()
 	rep.Reads = reads.Load()
 	rep.Writes = writes.Load()
+	rep.Stats = stats.Load()
 	rep.CrossProbes = probes.Load()
 	rep.CrossDenied = denied.Load()
 	rep.Busy = busy.Load()
@@ -452,19 +504,27 @@ func RunLoadgen(base string, o LoadgenOptions) (*LoadgenReport, error) {
 	if s := elapsed.Seconds(); s > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / s
 	}
-	rep.Latency = make(map[string]OpLatency, len(lgKindNames))
-	for kind, name := range lgKindNames {
-		samples := lats[kind]
-		if len(samples) == 0 {
-			continue
+	summarize := func(byKind map[int][]uint64) map[string]OpLatency {
+		out := make(map[string]OpLatency, len(lgKindNames))
+		for kind, name := range lgKindNames {
+			samples := byKind[kind]
+			if len(samples) == 0 {
+				continue
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			out[name] = OpLatency{
+				Ops:       uint64(len(samples)),
+				OpsPerSec: float64(len(samples)) / elapsed.Seconds(),
+				P50Us:     float64(percentile(samples, 0.50)) / 1e3,
+				P99Us:     float64(percentile(samples, 0.99)) / 1e3,
+			}
 		}
-		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-		rep.Latency[name] = OpLatency{
-			Ops:       uint64(len(samples)),
-			OpsPerSec: float64(len(samples)) / elapsed.Seconds(),
-			P50Us:     float64(percentile(samples, 0.50)) / 1e3,
-			P99Us:     float64(percentile(samples, 0.99)) / 1e3,
-		}
+		return out
+	}
+	rep.Latency = summarize(lats)
+	rep.TenantLatency = make(map[string]map[string]OpLatency, len(tlats))
+	for tenant, byKind := range tlats {
+		rep.TenantLatency[tenant] = summarize(byKind)
 	}
 	return rep, nil
 }

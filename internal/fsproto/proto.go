@@ -80,6 +80,13 @@ const (
 	RequestIDHeader = "X-Request-Id"
 )
 
+// QueueDepthHeader rides on 429 (busy) responses carrying the rejecting
+// shard's admitted-but-unserved task count. Clients scale their retry
+// backoff by it: a shallow queue means the burst is already draining and a
+// quick retry will land, a deep one means genuine congestion. Transport
+// faults carry no hint and keep the conservative exponential backoff.
+const QueueDepthHeader = "X-Fsencr-Queue-Depth"
+
 // TraceContext is the request-trace identity a client mints and the server
 // threads through admission, shard, kernel, controller and PCM timing.
 type TraceContext struct {
@@ -208,6 +215,27 @@ type ReadRequest struct {
 // ReadResponse carries the plaintext bytes (base64 on the wire).
 type ReadResponse struct {
 	Data []byte `json:"data"`
+}
+
+// StatRequest fetches file metadata. Stat is read-only and side-effect
+// free end to end: the server answers it off the shard worker when the
+// fast-path is available, and as out-of-band worker work otherwise — it
+// never consumes a deterministic schedule slot and is never logged, so
+// Seq, while accepted for interface uniformity, is ignored.
+type StatRequest struct {
+	Name   string `json:"name"`
+	Tenant string `json:"tenant,omitempty"`
+	Seq    Seq    `json:"seq,omitempty"`
+}
+
+// StatResponse carries the inode's metadata. Name is the full
+// tenant-prefixed name the file is stored under.
+type StatResponse struct {
+	Name      string `json:"name"`
+	Size      uint64 `json:"size"`
+	Perm      uint16 `json:"perm"`
+	Encrypted bool   `json:"encrypted"`
+	Pages     int    `json:"pages"`
 }
 
 // WriteRequest writes Data at Offset.

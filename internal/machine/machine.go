@@ -369,6 +369,30 @@ func (co *Core) ReadPageNC(pa addr.Phys, dst *aesctr.Page) {
 	m.st.Inc("machine.nc_page_reads")
 }
 
+// SnapshotReadPage is the concurrent read fast-path's coherent page read:
+// the page is decrypted through the controller's read-only snapshot entry
+// point, then any lines cached in the hierarchy (dirty or clean) are
+// overlaid so the result matches what ReadPageNC/ReadNC would have
+// returned. No machine state is mutated and no core clock advances; side
+// effects land in d for the owner goroutine to drain. Must run with the
+// owning shard quiescent (its seqlock held for reading). pa must be
+// page-aligned. Returns false when the controller path must fall back.
+func (m *Machine) SnapshotReadPage(rd *memctrl.Reader, pa addr.Phys, dst *aesctr.Page, d *memctrl.ReadDelta) bool {
+	base := pa.PageAlign()
+	if !m.MC.SnapshotReadPage(rd, base, dst, d) {
+		return false
+	}
+	// The ECC tags above were checked against the NVM-resident plaintext;
+	// cached lines overlay afterwards, exactly as the live path serves
+	// cached data without re-reading the array.
+	for off := 0; off < config.PageSize; off += config.LineSize {
+		if lb, ok := m.lines[base+addr.Phys(off)]; ok {
+			copy(dst[off:off+config.LineSize], lb.data[:])
+		}
+	}
+	return true
+}
+
 // WritePageNT performs a non-temporal store of one full 4 KB page through
 // the batched page datapath: the controller accepts all 64 lines as one
 // burst (covered by Fence, like WriteNT), and any cached copies are

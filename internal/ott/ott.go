@@ -115,6 +115,20 @@ func (t *Table) Lookup(group uint32, file uint16) (aesctr.Key, bool) {
 	return aesctr.Key{}, false
 }
 
+// Peek is Lookup without side effects: no clock tick, no LRU refresh, no
+// hit/miss counters, no telemetry. The concurrent read fast-path uses it
+// to resolve keys from a reader goroutine while the owner goroutine is
+// parked; the owner's own Lookup remains the only mutating search.
+func (t *Table) Peek(group uint32, file uint16) (aesctr.Key, bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.e.Group == group && s.e.File == file {
+			return s.e.Key, true
+		}
+	}
+	return aesctr.Key{}, false
+}
+
 // Insert adds (or refreshes) an entry. If the table is full, the least
 // recently used entry is evicted and returned for sealing into the
 // encrypted OTT region.

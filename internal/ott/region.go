@@ -151,6 +151,21 @@ func (r *Region) Lookup(group uint32, file uint16) (Entry, int, bool) {
 	return Entry{}, b, false
 }
 
+// Peek is Lookup without side effects: no probe counters, no telemetry
+// observations. open/DecryptBlock16 touch only the engine's stateless key
+// schedule, so a reader goroutine can unseal concurrently with the owner
+// as long as the bucket table itself is quiescent (the fast-path's
+// seqlock guarantees that).
+func (r *Region) Peek(group uint32, file uint16) (Entry, bool) {
+	b := r.Bucket(group, file)
+	for _, s := range r.table[b] {
+		if e, err := r.open(s, b); err == nil && e.Group == group && e.File == file {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
 // Remove deletes the record for (group, file), returning the bucket and
 // whether anything was removed (file deletion removes the key from both the
 // OTT and the encrypted region, §III-E).

@@ -234,6 +234,19 @@ func (m *Memory) ReadPageInto(pa addr.Phys, dst *aesctr.Page) {
 	*dst = aesctr.Page(*m.frame(pa))
 }
 
+// PeekPageInto is ReadPageInto without the first-touch allocation: an
+// unbacked frame reads as zeros instead of materializing in the frame map.
+// The concurrent read fast-path uses it so a reader goroutine never
+// mutates the device (frame allocation would race the owner and perturb
+// FramesTouched/migration images).
+func (m *Memory) PeekPageInto(pa addr.Phys, dst *aesctr.Page) {
+	if f, ok := m.frames[pa.PageNum()]; ok {
+		*dst = aesctr.Page(*f)
+		return
+	}
+	*dst = aesctr.Page{}
+}
+
 // WritePageFrom stores a full 4 KB page at the page containing pa.
 // Functional only.
 func (m *Memory) WritePageFrom(pa addr.Phys, src *aesctr.Page) {

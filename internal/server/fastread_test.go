@@ -1,0 +1,415 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsencr/internal/fs"
+	"fsencr/internal/fsproto"
+	"fsencr/internal/kernel"
+	"fsencr/internal/memctrl"
+)
+
+// TestConcurrentReadEquivalence races N snapshot readers against a live
+// writer: every read must observe a consistent page — the pre-write
+// pattern or the post-write pattern, never a mix — and the fast path must
+// actually have served reads (this is the test that runs under -race in
+// `make race`, probing the seqlock protocol's happens-before edges).
+func TestConcurrentReadEquivalence(t *testing.T) {
+	svc, sess := testReadService(t)
+	ctx := context.Background()
+
+	const (
+		readers  = 4
+		writes   = 40
+		pageOff  = 4096
+		pageSize = 4096
+	)
+	old, new_ := byte(0x5A), byte(0xA5)
+	oldPage := bytes.Repeat([]byte{old}, pageSize)
+	newPage := bytes.Repeat([]byte{new_}, pageSize)
+
+	var stop atomic.Bool
+	var mixed atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				pl, err := svc.Read(ctx, sess, fsproto.ReadRequest{Name: "hot.dat", Offset: pageOff, Length: pageSize})
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				first := pl.Data[0]
+				if first != old && first != new_ {
+					mixed.Add(1)
+				} else {
+					for _, b := range pl.Data {
+						if b != first {
+							mixed.Add(1)
+							break
+						}
+					}
+				}
+				pl.Release()
+			}
+		}()
+	}
+	for i := 0; i < writes; i++ {
+		data := newPage
+		if i%2 == 1 {
+			data = oldPage
+		}
+		if err := svc.Write(ctx, sess, fsproto.WriteRequest{Name: "hot.dat", Offset: pageOff, Data: data}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		// Breathe between writes: back-to-back mutation batches would keep
+		// the writer lock nearly always held, and every read would take the
+		// (correct, but untested-here) fallback path.
+		time.Sleep(200 * time.Microsecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if n := mixed.Load(); n != 0 {
+		t.Fatalf("%d torn reads observed a mix of pre- and post-write bytes", n)
+	}
+	snap := svc.MetricsSnapshot()
+	if snap.Counters["server.fast_reads_total"] == 0 {
+		t.Fatal("fast path never served a read during the race")
+	}
+}
+
+// TestFastReadFanned checks the crypt-pool fan-out: a read spanning the
+// whole 4-page file (>= fanMinSpans page spans) decrypts to exactly the
+// serial path's plaintext, and the deferred side effects reach the
+// controller at the next mutation (counters advance, audit chain intact).
+func TestFastReadFanned(t *testing.T) {
+	svc, sess := testReadService(t)
+	ctx := context.Background()
+	sh := svc.shards[0]
+	mcReads := func() uint64 {
+		// The controller's stats set belongs to the worker; read it there.
+		var v uint64
+		if err := sh.DoSide(ctx, func() { v = sh.Sys.M.MC.Stats().Get("mc.reads") }); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	before := mcReads()
+	pl, err := svc.Read(ctx, sess, fsproto.ReadRequest{Name: "hot.dat", Offset: 0, Length: 4 * 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range pl.Data {
+		if b != 0x5A {
+			t.Fatalf("byte %d is %#x, want 0x5A", i, b)
+		}
+	}
+	pl.Release()
+	if svc.MetricsSnapshot().Counters["server.fast_reads_total"] == 0 {
+		t.Fatal("full-file read did not take the fast path")
+	}
+
+	// The read's side effects are deferred until the worker's next
+	// mutation: force one and check the controller accounted the lines.
+	if err := svc.Write(ctx, sess, fsproto.WriteRequest{Name: "hot.dat", Offset: 0, Data: bytes.Repeat([]byte{0x5A}, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	after := mcReads()
+	if after < before+4*64 {
+		t.Fatalf("mc.reads %d -> %d, want >= +%d deferred line reads folded in", before, after, 4*64)
+	}
+	if err := svc.VerifyAudit(); err != nil {
+		t.Fatalf("audit chain broken after deferred drain: %v", err)
+	}
+}
+
+// TestFastReadGating: deterministic shards and -serial-reads services must
+// never enter the fast path — not even its fallback branch.
+func TestFastReadGating(t *testing.T) {
+	t.Run("deterministic", func(t *testing.T) {
+		svc := New(Options{
+			Shards:        1,
+			MCMode:        memctrl.Mode{MemEncryption: true, FileEncryption: true},
+			Access:        kernel.ModeDAX,
+			Deterministic: true,
+		})
+		t.Cleanup(svc.Close)
+		ctx := context.Background()
+		seq := func(n uint64) fsproto.Seq { return &n }
+		sess, err := svc.Login(ctx, "acme", 1, "pw", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Create(ctx, sess, fsproto.CreateRequest{Name: "f.dat", Perm: 0600, Size: 4096, Encrypted: true, Seq: seq(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Write(ctx, sess, fsproto.WriteRequest{Name: "f.dat", Data: bytes.Repeat([]byte{7}, 4096), Seq: seq(2)}); err != nil {
+			t.Fatal(err)
+		}
+		pl, err := svc.Read(ctx, sess, fsproto.ReadRequest{Name: "f.dat", Length: 4096, Seq: seq(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Release()
+		snap := svc.MetricsSnapshot()
+		if snap.Counters["server.fast_reads_total"] != 0 || snap.Counters["server.fast_read_fallbacks_total"] != 0 {
+			t.Fatalf("deterministic shard entered the fast path: fast %d fallbacks %d",
+				snap.Counters["server.fast_reads_total"], snap.Counters["server.fast_read_fallbacks_total"])
+		}
+	})
+	t.Run("serial-reads", func(t *testing.T) {
+		svc := New(Options{
+			Shards:      1,
+			MCMode:      memctrl.Mode{MemEncryption: true, FileEncryption: true},
+			Access:      kernel.ModeDAX,
+			SerialReads: true,
+		})
+		t.Cleanup(svc.Close)
+		ctx := context.Background()
+		sess, err := svc.Login(ctx, "acme", 1, "pw", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Create(ctx, sess, fsproto.CreateRequest{Name: "f.dat", Perm: 0600, Size: 4096, Encrypted: true}); err != nil {
+			t.Fatal(err)
+		}
+		pl, err := svc.Read(ctx, sess, fsproto.ReadRequest{Name: "f.dat", Length: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Release()
+		snap := svc.MetricsSnapshot()
+		if snap.Counters["server.fast_reads_total"] != 0 || snap.Counters["server.fast_read_fallbacks_total"] != 0 {
+			t.Fatal("-serial-reads service entered the fast path")
+		}
+	})
+}
+
+// TestSerialReadsEquivalence: the same read answered by the fast path and
+// by a -serial-reads baseline service returns identical plaintext.
+func TestSerialReadsEquivalence(t *testing.T) {
+	read := func(serial bool) []byte {
+		svc := New(Options{
+			Shards:      1,
+			MCMode:      memctrl.Mode{MemEncryption: true, FileEncryption: true},
+			Access:      kernel.ModeDAX,
+			SerialReads: serial,
+		})
+		t.Cleanup(svc.Close)
+		ctx := context.Background()
+		sess, err := svc.Login(ctx, "acme", 1, "pw-acme", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Create(ctx, sess, fsproto.CreateRequest{Name: "eq.dat", Perm: 0600, Size: 4 * 4096, Encrypted: true}); err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 4*4096)
+		for i := range body {
+			body[i] = byte(i * 31)
+		}
+		if err := svc.Write(ctx, sess, fsproto.WriteRequest{Name: "eq.dat", Data: body}); err != nil {
+			t.Fatal(err)
+		}
+		pl, err := svc.Read(ctx, sess, fsproto.ReadRequest{Name: "eq.dat", Offset: 100, Length: 4*4096 - 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := append([]byte(nil), pl.Data...)
+		pl.Release()
+		return out
+	}
+	fast, serial := read(false), read(true)
+	if !bytes.Equal(fast, serial) {
+		t.Fatal("fast-path plaintext differs from the serialized baseline")
+	}
+}
+
+// TestStatOps covers the new stat operation end to end: fast-path values,
+// the worker fallback on deterministic shards (no schedule slot consumed),
+// and the live error shape for a missing file.
+func TestStatOps(t *testing.T) {
+	t.Run("fast", func(t *testing.T) {
+		svc, sess := testReadService(t)
+		resp, err := svc.Stat(context.Background(), sess, fsproto.StatRequest{Name: "hot.dat"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fsproto.StatResponse{Name: "acme/hot.dat", Size: 4 * 4096, Perm: 0600, Encrypted: true, Pages: 4}
+		if resp != want {
+			t.Fatalf("stat = %+v, want %+v", resp, want)
+		}
+		if svc.MetricsSnapshot().Counters["server.fast_reads_total"] == 0 {
+			t.Fatal("stat did not take the fast path")
+		}
+	})
+	t.Run("det-fallback", func(t *testing.T) {
+		svc := New(Options{
+			Shards:        1,
+			MCMode:        memctrl.Mode{MemEncryption: true, FileEncryption: true},
+			Access:        kernel.ModeDAX,
+			Deterministic: true,
+		})
+		t.Cleanup(svc.Close)
+		ctx := context.Background()
+		seq := func(n uint64) fsproto.Seq { return &n }
+		sess, err := svc.Login(ctx, "acme", 1, "pw", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Create(ctx, sess, fsproto.CreateRequest{Name: "s.dat", Perm: 0640, Size: 8192, Encrypted: true, Seq: seq(1)}); err != nil {
+			t.Fatal(err)
+		}
+		// Stat consumes no schedule slot: no seq, and the next sequenced op
+		// (2, not 3) must still be admitted afterwards.
+		resp, err := svc.Stat(ctx, sess, fsproto.StatRequest{Name: "s.dat"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Size != 8192 || resp.Pages != 2 || resp.Perm != 0640 {
+			t.Fatalf("det stat = %+v", resp)
+		}
+		if err := svc.Write(ctx, sess, fsproto.WriteRequest{Name: "s.dat", Data: []byte{1}, Seq: seq(2)}); err != nil {
+			t.Fatalf("write after stat (stat must not consume sequence 2): %v", err)
+		}
+	})
+	t.Run("missing", func(t *testing.T) {
+		svc, sess := testReadService(t)
+		_, err := svc.Stat(context.Background(), sess, fsproto.StatRequest{Name: "nope.dat"})
+		if !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("want ErrNotExist, got %v", err)
+		}
+	})
+}
+
+// TestBusyErrorShape pins the 429 error contract: BusyError unwraps to
+// ErrBusy (HTTP mapping and IsCode checks keep working) and renders the
+// exact pre-hint message text.
+func TestBusyErrorShape(t *testing.T) {
+	e := &BusyError{Tenant: 5, Depth: 17}
+	if !errors.Is(e, ErrBusy) {
+		t.Fatal("BusyError does not unwrap to ErrBusy")
+	}
+	want := fmt.Sprintf("%s (tenant %d)", ErrBusy, 5)
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+}
+
+// TestBusyQueueDepthHeader: the HTTP error writer exports a BusyError's
+// queue depth on the 429 response, and omits the header for plain ErrBusy.
+func TestBusyQueueDepthHeader(t *testing.T) {
+	svc := New(Options{
+		Shards: 1,
+		MCMode: memctrl.Mode{MemEncryption: true, FileEncryption: true},
+		Access: kernel.ModeDAX,
+	})
+	t.Cleanup(svc.Close)
+
+	rec := httptest.NewRecorder()
+	if status := svc.writeError(rec, &BusyError{Tenant: 3, Depth: 42}); status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", status)
+	}
+	if got := rec.Header().Get(fsproto.QueueDepthHeader); got != "42" {
+		t.Fatalf("queue-depth header %q, want \"42\"", got)
+	}
+
+	rec = httptest.NewRecorder()
+	svc.writeError(rec, ErrBusy)
+	if got := rec.Header().Get(fsproto.QueueDepthHeader); got != "" {
+		t.Fatalf("bare ErrBusy must carry no hint, got %q", got)
+	}
+}
+
+// TestReadScalingGuard is the read-concurrency acceptance gate: on a host
+// with >= 4 cores, 8 concurrent readers on one shard must sustain at least
+// 2x the single-reader throughput. Runs only under FSENCR_OVERHEAD_GUARD=1
+// (make overhead-guard) — wall-clock throughput ratios are meaningless on
+// loaded CI executors.
+func TestReadScalingGuard(t *testing.T) {
+	if os.Getenv("FSENCR_OVERHEAD_GUARD") == "" {
+		t.Skip("set FSENCR_OVERHEAD_GUARD=1 to run throughput guards")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 cores for a meaningful scaling ratio, have %d", runtime.NumCPU())
+	}
+	svc, sess := testReadService(t)
+	ctx := context.Background()
+
+	read := func() {
+		pl, err := svc.Read(ctx, sess, fsproto.ReadRequest{Name: "hot.dat", Offset: 0, Length: 4 * 4096})
+		if err != nil {
+			t.Error(err)
+		}
+		pl.Release()
+	}
+	throughput := func(goroutines, opsEach int) float64 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < opsEach; i++ {
+					read()
+				}
+			}()
+		}
+		wg.Wait()
+		return float64(goroutines*opsEach) / time.Since(start).Seconds()
+	}
+
+	// Warm up: fault pages, fill pools, install the OTT entry.
+	for i := 0; i < 16; i++ {
+		read()
+	}
+	const opsEach = 400
+	// Best-of-3 on both sides discards scheduler noise.
+	var single, eight float64
+	for i := 0; i < 3; i++ {
+		if v := throughput(1, opsEach); v > single {
+			single = v
+		}
+		if v := throughput(8, opsEach); v > eight {
+			eight = v
+		}
+	}
+	t.Logf("single-reader %.0f ops/s, 8-reader %.0f ops/s (%.2fx)", single, eight, eight/single)
+	if eight < 2*single {
+		t.Fatalf("8-reader throughput %.0f ops/s < 2x single-reader %.0f ops/s", eight, single)
+	}
+}
+
+// BenchmarkServerParallelRead measures the concurrent read fast-path: all
+// procs reading one shard's encrypted file through the full service path
+// (payload pool, seqlock, snapshot decrypt, deferred deltas).
+func BenchmarkServerParallelRead(b *testing.B) {
+	svc, sess := testReadService(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			pl, err := svc.Read(ctx, sess, fsproto.ReadRequest{Name: "hot.dat", Offset: 0, Length: 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl.Release()
+		}
+	})
+}

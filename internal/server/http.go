@@ -71,6 +71,13 @@ func (svc *Service) writeError(w http.ResponseWriter, err error) int {
 	svc.cErrs.Inc()
 	if code == fsproto.CodeBusy {
 		svc.cBusy.Inc()
+		// Export the rejecting shard's queue depth so the client's retry
+		// policy can back off proportionally to actual congestion. Must be
+		// set before writeJSON commits the status line.
+		var be *BusyError
+		if errors.As(err, &be) {
+			w.Header().Set(fsproto.QueueDepthHeader, strconv.FormatInt(be.Depth, 10))
+		}
 	}
 	svc.writeJSON(w, status, fsproto.Error{Code: code, Message: err.Error()})
 	return status
@@ -326,6 +333,17 @@ func (svc *Service) Mux() *http.ServeMux {
 			return nil, err
 		}
 		return pooledResponse{v: fsproto.ReadResponse{Data: pl.Data}, pl: pl}, nil
+	}))
+	mux.HandleFunc("/v1/stat", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
+		var req fsproto.StatRequest
+		if err := decode(r, &req); err != nil {
+			return nil, err
+		}
+		resp, err := svc.Stat(r.Context(), sess, req)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
 	}))
 	mux.HandleFunc("/v1/write", svc.endpoint(func(sess *Session, r *http.Request) (any, error) {
 		var req fsproto.WriteRequest

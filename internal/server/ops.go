@@ -390,6 +390,16 @@ func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadReq
 		return Payload{}, err
 	}
 	pl := newPayload(req.Length)
+	if svc.fastReadable(tgt.sh) {
+		if tgt.sh.tryFastRead(sess, TraceFromContext(ctx), fullName(tgt.tenant, req.Name), pass(sess, req.Passphrase), req.Offset, pl.Data) {
+			svc.cFastReads.Inc()
+			return pl, nil
+		}
+		// Anything the snapshot path couldn't serve — contention, an
+		// unfaulted page, a key not yet in the on-chip OTT, or a read that
+		// genuinely fails — re-runs below with exact live semantics.
+		svc.cFastFallbacks.Inc()
+	}
 	_, err = svc.do(ctx, tgt.sh, sess, tgt.gid, req.Seq, "read", &req, func() (any, error) {
 		return svc.workRead(tgt, sess, req, pl.Data)
 	})
@@ -400,6 +410,72 @@ func (svc *Service) Read(ctx context.Context, sess *Session, req fsproto.ReadReq
 		return Payload{}, err
 	}
 	return pl, nil
+}
+
+// fastReadable gates the concurrent read fast-path: deterministic shards
+// must stay a pure function of their schedule (a fast read would skip the
+// schedule entirely), logged shards must observe every op as an
+// admission-log record, and -serial-reads forces the worker path for A/B
+// measurement against the serialized datapath.
+func (svc *Service) fastReadable(sh *Shard) bool {
+	return !sh.det && !sh.logOn && !svc.opts.SerialReads
+}
+
+// statResponse is the wire form of a stat'ed inode.
+func statResponse(f *fs.File) fsproto.StatResponse {
+	return fsproto.StatResponse{
+		Name:      f.Name,
+		Size:      f.Size,
+		Perm:      uint16(f.Perm),
+		Encrypted: f.Encrypted,
+		Pages:     f.Pages(),
+	}
+}
+
+// workStat is the worker-side stat fallback. It deliberately touches no
+// simulated state — no clock, no journal, no keyring — so stat stays
+// replay-neutral on logged shards and schedule-neutral on deterministic
+// ones; it exists to produce the exact live error shapes the snapshot path
+// refuses to guess.
+func workStat(sh *Shard, sess *Session, name string) (fsproto.StatResponse, error) {
+	f, err := sh.Sys.FS.Lookup(name)
+	if err != nil {
+		return fsproto.StatResponse{}, err
+	}
+	if !f.Allows(sess.uid, sess.gid, fs.ReadAccess) {
+		return fsproto.StatResponse{}, fmt.Errorf("%w: %q", kernel.ErrPermission, name)
+	}
+	return statResponse(f), nil
+}
+
+// Stat returns file metadata. Read-only end to end: the fast path answers
+// from a seqlock-guarded snapshot off the worker; the fallback runs as
+// out-of-band worker work (DoSide), so stat never consumes a deterministic
+// schedule slot, advances no simulated clock, and is never logged.
+func (svc *Service) Stat(ctx context.Context, sess *Session, req fsproto.StatRequest) (fsproto.StatResponse, error) {
+	if req.Name == "" {
+		return fsproto.StatResponse{}, fmt.Errorf("%w: name required", ErrBadRequest)
+	}
+	tgt, err := svc.resolve(sess, req.Tenant)
+	if err != nil {
+		return fsproto.StatResponse{}, err
+	}
+	name := fullName(tgt.tenant, req.Name)
+	if svc.fastReadable(tgt.sh) {
+		if resp, ok := tgt.sh.tryFastStat(sess, name); ok {
+			svc.cFastReads.Inc()
+			return resp, nil
+		}
+		svc.cFastFallbacks.Inc()
+	}
+	ctx, cancel := context.WithTimeout(ctx, svc.opts.RequestTimeout)
+	defer cancel()
+	var resp fsproto.StatResponse
+	var serr error
+	if err := tgt.sh.DoSide(ctx, func() { resp, serr = workStat(tgt.sh, sess, name) }); err != nil {
+		return fsproto.StatResponse{}, err
+	}
+	return resp, serr
 }
 
 // Write stores bytes at an offset and persists them (CLWB+SFENCE under

@@ -43,6 +43,11 @@ type Options struct {
 	Cfg *config.Config
 	// Deterministic switches every shard to schedule-sequence admission.
 	Deterministic bool
+	// SerialReads disables the concurrent read fast-path, forcing every
+	// read-only op through worker admission — the serialized baseline the
+	// read-scaling experiments A/B against. Deterministic and admission-
+	// logged shards serialize reads regardless of this flag.
+	SerialReads bool
 	// PerTenantQueue bounds fair-mode per-tenant queues (<= 0 default).
 	PerTenantQueue int
 	// RequestTimeout bounds one request's queue+execute time (<= 0 default).
@@ -147,6 +152,11 @@ type Service struct {
 	cBusy     *telemetry.Counter
 	cEncErrs  *telemetry.Counter
 	gJrnDrops *telemetry.Gauge
+	// Fast-path accounting lives on the host registry, never the per-shard
+	// deterministic ones: fast reads are wall-clock concurrency, not
+	// schedule state.
+	cFastReads     *telemetry.Counter
+	cFastFallbacks *telemetry.Counter
 
 	// slo is the per-tenant SLO table (slo.go); traceBase/traceSeq mint
 	// trace IDs for requests arriving without a client-sent context.
@@ -190,25 +200,27 @@ func New(opts Options) *Service {
 	}
 	reg := telemetry.New()
 	svc := &Service{
-		opts:      opts,
-		reg:       reg,
-		hReqNs:    reg.Histogram("server.request_ns"),
-		cReqs:     reg.Counter("server.requests_total"),
-		cErrs:     reg.Counter("server.request_errors_total"),
-		cAuthFail: reg.Counter("server.auth_failures_total"),
-		cXDenied:  reg.Counter("server.cross_tenant_denials_total"),
-		cBusy:     reg.Counter("server.busy_rejections_total"),
-		cEncErrs:  reg.Counter("server.response_encode_errors_total"),
-		gJrnDrops: reg.Gauge("journal.drops_total"),
-		slo:       newSLOTable(reg),
-		traceBase: 0x66_73_65_6e_63_72, // "fsencr": fixed, IDs still unique via traceSeq
-		sessions:  make(map[string]*Session),
-		moved:     make(map[string]int),
-		nShards:   opts.ClusterShards,
-		byIdx:     make(map[int]*Shard),
-		gEpoch:    reg.Gauge("cluster.epoch"),
-		cFwd:      reg.Counter("server.forwarded_total"),
-		fwdHC:     &http.Client{Timeout: opts.RequestTimeout},
+		opts:           opts,
+		reg:            reg,
+		hReqNs:         reg.Histogram("server.request_ns"),
+		cReqs:          reg.Counter("server.requests_total"),
+		cErrs:          reg.Counter("server.request_errors_total"),
+		cAuthFail:      reg.Counter("server.auth_failures_total"),
+		cXDenied:       reg.Counter("server.cross_tenant_denials_total"),
+		cBusy:          reg.Counter("server.busy_rejections_total"),
+		cEncErrs:       reg.Counter("server.response_encode_errors_total"),
+		gJrnDrops:      reg.Gauge("journal.drops_total"),
+		cFastReads:     reg.Counter("server.fast_reads_total"),
+		cFastFallbacks: reg.Counter("server.fast_read_fallbacks_total"),
+		slo:            newSLOTable(reg),
+		traceBase:      0x66_73_65_6e_63_72, // "fsencr": fixed, IDs still unique via traceSeq
+		sessions:       make(map[string]*Session),
+		moved:          make(map[string]int),
+		nShards:        opts.ClusterShards,
+		byIdx:          make(map[int]*Shard),
+		gEpoch:         reg.Gauge("cluster.epoch"),
+		cFwd:           reg.Counter("server.forwarded_total"),
+		fwdHC:          &http.Client{Timeout: opts.RequestTimeout},
 	}
 	owned := opts.OwnedShards
 	if owned == nil {

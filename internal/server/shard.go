@@ -47,6 +47,23 @@ var (
 	ErrDraining = errors.New("server: shard draining")
 )
 
+// BusyError is the concrete backpressure rejection: it unwraps to ErrBusy
+// (existing errors.Is checks keep working) and carries the shard's admitted
+// queue depth at rejection time. The HTTP layer exports the depth as the
+// queue-depth hint header so clients can scale their retry backoff to how
+// congested the shard actually is instead of backing off blind.
+type BusyError struct {
+	Tenant uint32
+	Depth  int64
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("%s (tenant %d)", ErrBusy, e.Tenant)
+}
+
+// Unwrap keeps errors.Is(err, ErrBusy) true.
+func (e *BusyError) Unwrap() error { return ErrBusy }
+
 // DefaultPerTenantQueue bounds how many requests one tenant may have
 // admitted-but-unserved on a shard before backpressure kicks in.
 const DefaultPerTenantQueue = 64
@@ -119,6 +136,18 @@ type Shard struct {
 	depth    atomic.Int64
 	gDepth   *telemetry.Gauge
 	cServed  *telemetry.Counter
+
+	// Concurrent read fast-path plane (fastread.go). rmu excludes snapshot
+	// readers from worker mutations; ver is the seqlock epoch the readers
+	// validate (odd while a mutation batch is in progress); deltas is the
+	// lock-free stack of deferred read side effects the worker folds into
+	// the controller at its next mutation; the pools recycle per-goroutine
+	// reader contexts and delta buffers.
+	rmu       sync.RWMutex
+	ver       atomic.Uint64
+	deltas    atomic.Pointer[deltaNode]
+	readPool  sync.Pool
+	deltaPool sync.Pool
 
 	// Request-trace plane (worker-only, deterministic): scope buffers one
 	// request's spans until the tail sampler's keep/drop decision; the
@@ -221,6 +250,8 @@ func NewShardWith(id int, cfg config.Config, mode memctrl.Mode, access kernel.Ac
 		ckptEvery:      so.CheckpointEvery,
 		replaySessions: make(map[string]*Session),
 	}
+	sh.readPool.New = func() any { return sh.Sys.NewSnapshotReader() }
+	sh.deltaPool.New = func() any { return new(memctrl.ReadDelta) }
 	if !so.Detached {
 		sh.Start()
 	}
@@ -285,7 +316,7 @@ func (sh *Shard) submit(ctx context.Context, tenant uint32, seq uint64, name str
 		case sem <- struct{}{}:
 			release = func() { <-sem }
 		case <-ctx.Done():
-			return nil, fmt.Errorf("%w (tenant %d)", ErrBusy, tenant)
+			return nil, &BusyError{Tenant: tenant, Depth: sh.depth.Load()}
 		}
 	}
 	sh.mu.Lock()
@@ -305,7 +336,7 @@ func (sh *Shard) submit(ctx context.Context, tenant uint32, seq uint64, name str
 	case sh.ingress <- t:
 	case <-ctx.Done():
 		sh.taskDone(t)
-		return nil, fmt.Errorf("%w (tenant %d)", ErrBusy, tenant)
+		return nil, &BusyError{Tenant: tenant, Depth: sh.depth.Load()}
 	}
 	select {
 	case r := <-t.resp:
@@ -459,10 +490,17 @@ func (sh *Shard) runDeterministic() {
 	}
 }
 
-// runFair serves one task per tenant in round-robin over the tenants with
+// runFair serves tasks per tenant in round-robin over the tenants with
 // pending work, absorbing the ingress channel between servings so a burst
 // from one tenant queues behind its own earlier requests, not everyone
 // else's.
+//
+// Mutations run under the shard's writer lock with the seqlock version odd,
+// so concurrent snapshot readers either see a fully quiescent machine or
+// fall back to admission here. Admitted tasks are group-committed: up to
+// groupCommitBatch servings share one lock acquisition and one version
+// bump, amortizing writer-side synchronization under load while keeping
+// reader stalls bounded to a batch.
 func (sh *Shard) runFair() {
 	queues := make(map[uint32][]task)
 	var order []uint32 // tenants in first-seen order
@@ -484,7 +522,9 @@ func (sh *Shard) runFair() {
 		for {
 			select {
 			case st := <-sh.side:
+				sh.enterMut()
 				sh.execSide(st)
+				sh.exitMut()
 				continue
 			case t := <-sh.ingress:
 				absorb(t)
@@ -498,24 +538,30 @@ func (sh *Shard) runFair() {
 			case t := <-sh.ingress:
 				absorb(t)
 			case st := <-sh.side:
+				sh.enterMut()
 				sh.execSide(st)
+				sh.exitMut()
 			case <-sh.stop:
 				return
 			}
 			continue
 		}
-		for i := 0; i < len(order); i++ {
-			ten := order[(rr+i)%len(order)]
-			q := queues[ten]
-			if len(q) == 0 {
-				continue
+		sh.enterMut()
+		for served := 0; served < groupCommitBatch && pending > 0; served++ {
+			for i := 0; i < len(order); i++ {
+				ten := order[(rr+i)%len(order)]
+				q := queues[ten]
+				if len(q) == 0 {
+					continue
+				}
+				queues[ten] = q[1:]
+				pending--
+				rr = (rr + i + 1) % len(order)
+				sh.exec(q[0])
+				break
 			}
-			queues[ten] = q[1:]
-			pending--
-			rr = (rr + i + 1) % len(order)
-			sh.exec(q[0])
-			break
 		}
+		sh.exitMut()
 	}
 }
 
